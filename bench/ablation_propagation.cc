@@ -1,0 +1,83 @@
+// Ablation of the solver's propagation strength (the design choices in
+// DESIGN.md): triangle domain pruning and the connected-used-chips
+// strengthening.  Measures solver effort (SetDomain calls, success rate)
+// for uniform SAMPLE solves across graph scales.
+#include <chrono>
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "solver/cp_solver.h"
+#include "solver/modes.h"
+
+namespace {
+
+using namespace mcm;
+
+struct Setting {
+  const char* label;
+  CpSolver::Options options;
+};
+
+void RunCase(const Graph& graph, const Setting& setting, int solves) {
+  CpSolver solver(graph, 36, setting.options);
+  const ProbMatrix uniform = ProbMatrix::Uniform(graph.NumNodes(), 36);
+  Rng rng(7);
+  int successes = 0;
+  std::int64_t calls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int k = 0; k < solves; ++k) {
+    const SolveResult result =
+        SolveSampleWithRestarts(solver, graph, uniform, rng);
+    calls += result.set_domain_calls;
+    if (result.success) ++successes;
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count() /
+                    solves;
+  std::printf("  %-28s success %2d/%2d, %8.0f set_domain calls/solve, "
+              "%8.2f ms/solve\n",
+              setting.label, successes, solves,
+              static_cast<double>(calls) / solves, ms);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcm;
+  std::printf("=== Ablation: solver propagation strength (uniform SAMPLE "
+              "solves) ===\n");
+  const int solves = static_cast<int>(ScaledInt("MCM_ABLATION_SOLVES", 8, 50));
+
+  const Setting settings[] = {
+      {"full propagation", CpSolver::Options{}},
+      {"no connected-used-chips",
+       CpSolver::Options{.prune_triangle_domains = true,
+                         .assume_connected_used_chips = false}},
+      {"no triangle pruning",
+       CpSolver::Options{.prune_triangle_domains = false,
+                         .assume_connected_used_chips = false}},
+  };
+
+  const Graph cases[] = {MakeResNet("resnet", ResNetConfig{}),
+                         MakeLstm("lstm", 20, 128, 256, 100), MakeBert()};
+  for (const Graph& graph : cases) {
+    std::printf("%s (%d nodes):\n", graph.name().c_str(), graph.NumNodes());
+    for (const Setting& setting : settings) {
+      // Weak settings thrash on BERT; cap their sample count.
+      const int n = graph.NumNodes() > 1000 &&
+                            !setting.options.assume_connected_used_chips
+                        ? 1
+                        : solves;
+      RunCase(graph, setting, n);
+    }
+  }
+  std::printf("# takeaway: the propagation layers remove orders of "
+              "magnitude of backtracking on recurrent graphs (LSTM above); "
+              "on BERT the value-selection rules carry part of the load, "
+              "but weak-propagation solves degrade sharply with unlucky "
+              "seeds (DESIGN.md, implementation notes).\n");
+  return 0;
+}

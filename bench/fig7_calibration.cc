@@ -1,0 +1,115 @@
+// Figure 7 / Section 5.4: calibration of the analytical cost model against
+// "real hardware" (the hardware simulator).  Generates random valid BERT
+// partitions, evaluates both models, and reports
+//   * the fraction invalid only on hardware (paper: 13.5%),
+//   * Pearson correlation of normalized runtimes (paper: R = 0.91),
+//   * a coarse scatter of normalized predicted vs measured runtime, showing
+//     the false-positive cluster (low predicted, high/invalid measured).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "costmodel/cost_model.h"
+#include "graph/generators.h"
+#include "hwsim/hardware_sim.h"
+#include "solver/modes.h"
+
+int main() {
+  using namespace mcm;
+  const int samples =
+      static_cast<int>(ScaledInt("MCM_CALIBRATION_SAMPLES", 300, 2000));
+  std::printf("=== Figure 7: analytical-vs-hardware calibration on BERT "
+              "(%d random partitions) ===\n", samples);
+
+  const Graph bert = MakeBert();
+  CpSolver solver(bert, 36);
+  const ProbMatrix uniform = ProbMatrix::Uniform(bert.NumNodes(), 36);
+  AnalyticalCostModel analytical{McmConfig{}};
+  HardwareSim hardware;
+  Rng rng(2024);
+
+  std::vector<double> predicted, measured;
+  std::vector<double> invalid_predicted;  // Analytical runtime of hw-invalid.
+  int solver_failures = 0;
+  for (int k = 0; k < samples; ++k) {
+    const SolveResult r =
+        SolveSampleWithRestarts(solver, bert, uniform, rng);
+    if (!r.success) {
+      ++solver_failures;
+      continue;
+    }
+    const EvalResult a = analytical.Evaluate(bert, r.partition);
+    const EvalResult h = hardware.Evaluate(bert, r.partition);
+    if (!h.valid) {
+      invalid_predicted.push_back(a.runtime_s);
+      continue;
+    }
+    predicted.push_back(a.runtime_s);
+    measured.push_back(h.runtime_s);
+  }
+  const int evaluated = samples - solver_failures;
+  const auto invalid = static_cast<int>(invalid_predicted.size());
+
+  std::printf("evaluated partitions:          %d\n", evaluated);
+  std::printf("invalid on hardware only:      %d (%.1f%%)   [paper: 13.5%%]\n",
+              invalid, 100.0 * invalid / std::max(evaluated, 1));
+  const double r = PearsonCorrelation(predicted, measured);
+  std::printf("Pearson R (valid samples):     %.3f        [paper: 0.91]\n", r);
+
+  // Normalize to the respective minima, as the paper plots.
+  const double min_pred =
+      *std::min_element(predicted.begin(), predicted.end());
+  const double min_meas =
+      *std::min_element(measured.begin(), measured.end());
+  std::vector<double> np, nm;
+  for (double p : predicted) np.push_back(p / min_pred);
+  for (double m : measured) nm.push_back(m / min_meas);
+
+  // Coarse ASCII scatter: x = normalized predicted, y = normalized measured.
+  const int kW = 56, kH = 18;
+  const double max_pred =
+      std::min(Percentile(np, 0.98), *std::max_element(np.begin(), np.end()));
+  const double max_meas =
+      std::min(Percentile(nm, 0.98), *std::max_element(nm.begin(), nm.end()));
+  std::vector<std::string> canvas(kH, std::string(kW, ' '));
+  for (std::size_t i = 0; i < np.size(); ++i) {
+    const int x = std::min(
+        kW - 1, static_cast<int>((np[i] - 1.0) / (max_pred - 1.0) * (kW - 1)));
+    const int y = std::min(
+        kH - 1, static_cast<int>((nm[i] - 1.0) / (max_meas - 1.0) * (kH - 1)));
+    if (x >= 0 && y >= 0) {
+      char& cell = canvas[static_cast<std::size_t>(kH - 1 - y)]
+                         [static_cast<std::size_t>(x)];
+      cell = cell == ' ' ? '.' : (cell == '.' ? 'o' : '#');
+    }
+  }
+  std::printf("\nnormalized measured runtime (y, 1.0..%.2f) vs normalized "
+              "predicted runtime (x, 1.0..%.2f)\n", max_meas, max_pred);
+  for (const std::string& line : canvas) {
+    std::printf("|%s|\n", line.c_str());
+  }
+
+  // The paper's false-positive observation: partitions with *good* predicted
+  // runtime that fail or degrade on hardware.
+  double low_pred_cut = Percentile(np, 0.25);
+  int false_positives = 0;
+  for (std::size_t i = 0; i < np.size(); ++i) {
+    if (np[i] <= low_pred_cut && nm[i] >= Percentile(nm, 0.75)) {
+      ++false_positives;
+    }
+  }
+  int invalid_low_pred = 0;
+  for (double p : invalid_predicted) {
+    if (p / min_pred <= low_pred_cut) ++invalid_low_pred;
+  }
+  std::printf("\nfalse positives (pred in best quartile, measured in worst "
+              "quartile): %d\n", false_positives);
+  std::printf("hardware-invalid samples whose predicted runtime was in the "
+              "best quartile: %d\n", invalid_low_pred);
+  std::printf("# paper reference: strong correlation with a false-positive "
+              "cluster (the red circle in Fig. 7).\n");
+  return 0;
+}

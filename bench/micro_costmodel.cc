@@ -1,0 +1,81 @@
+// Microbenchmarks for the evaluation substrate: analytical cost model and
+// hardware-simulator evaluations at corpus and BERT scales.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "costmodel/cost_model.h"
+#include "partition/heuristics.h"
+#include "graph/generators.h"
+#include "hwsim/hardware_sim.h"
+#include "solver/modes.h"
+
+namespace mcm {
+namespace {
+
+struct Prepared {
+  Graph graph;
+  Partition partition;
+};
+
+const Prepared& PreparedCase(int selector) {
+  static const auto* cases = [] {
+    auto* out = new std::vector<Prepared>;
+    Rng rng(9);
+    for (Graph graph : {MakeResNet("resnet", ResNetConfig{}), MakeBert()}) {
+      CpSolver solver(graph, 36);
+      const ProbMatrix probs = ProbMatrix::Uniform(graph.NumNodes(), 36);
+      SolveResult solved =
+          SolveSampleWithRestarts(solver, graph, probs, rng);
+      out->push_back(Prepared{std::move(graph), std::move(solved.partition)});
+    }
+    return out;
+  }();
+  return (*cases)[static_cast<std::size_t>(selector)];
+}
+
+void BM_AnalyticalEvaluate(benchmark::State& state) {
+  const Prepared& prepared = PreparedCase(static_cast<int>(state.range(0)));
+  AnalyticalCostModel model{McmConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.Evaluate(prepared.graph, prepared.partition).runtime_s);
+  }
+  state.counters["nodes"] = prepared.graph.NumNodes();
+}
+BENCHMARK(BM_AnalyticalEvaluate)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_HardwareSimEvaluate(benchmark::State& state) {
+  const Prepared& prepared = PreparedCase(static_cast<int>(state.range(0)));
+  HardwareSim sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.Evaluate(prepared.graph, prepared.partition).runtime_s);
+  }
+  state.counters["nodes"] = prepared.graph.NumNodes();
+}
+BENCHMARK(BM_HardwareSimEvaluate)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_ChipLoads(benchmark::State& state) {
+  const Prepared& prepared = PreparedCase(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeChipLoads(prepared.graph, prepared.partition));
+  }
+  state.counters["nodes"] = prepared.graph.NumNodes();
+}
+BENCHMARK(BM_ChipLoads)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_HeuristicBaseline(benchmark::State& state) {
+  const Prepared& prepared = PreparedCase(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GreedyContiguousByCount(prepared.graph, 36).NumChipsUsed());
+  }
+  state.counters["nodes"] = prepared.graph.NumNodes();
+}
+BENCHMARK(BM_HeuristicBaseline)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mcm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Microbenchmarks for the neural-network substrate: GraphSAGE forward,
+// rollout sampling, and PPO updates at corpus and BERT scales.
+#include <benchmark/benchmark.h>
+
+#include "costmodel/cost_model.h"
+#include "graph/generators.h"
+#include "rl/env.h"
+#include "rl/policy.h"
+#include "rl/ppo.h"
+
+namespace mcm {
+namespace {
+
+const Graph& GraphForCase(int selector) {
+  static const Graph medium = MakeResNet("resnet", ResNetConfig{});
+  static const Graph bert = MakeBert();
+  return selector == 0 ? medium : bert;
+}
+
+RlConfig BenchRlConfig() {
+  RlConfig config = RlConfig::Quick();
+  config.seed = 77;
+  return config;
+}
+
+void BM_GraphSageForward(benchmark::State& state) {
+  const Graph& graph = GraphForCase(static_cast<int>(state.range(0)));
+  GraphContext context(graph, 36);
+  PolicyNetwork policy(BenchRlConfig());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.PredictValue(context));
+  }
+  state.counters["nodes"] = graph.NumNodes();
+}
+BENCHMARK(BM_GraphSageForward)->DenseRange(0, 1)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void BM_SampleRollout(benchmark::State& state) {
+  const Graph& graph = GraphForCase(static_cast<int>(state.range(0)));
+  GraphContext context(graph, 36);
+  PolicyNetwork policy(BenchRlConfig());
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.SampleRollout(context, rng).value_pred);
+  }
+  state.counters["nodes"] = graph.NumNodes();
+}
+BENCHMARK(BM_SampleRollout)->DenseRange(0, 1)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void BM_PpoIteration(benchmark::State& state) {
+  const Graph& graph = GraphForCase(static_cast<int>(state.range(0)));
+  GraphContext context(graph, 36);
+  AnalyticalCostModel model{McmConfig{}};
+  Rng rng(4);
+  const BaselineResult baseline =
+      ComputeHeuristicBaseline(graph, model, context.solver(), rng);
+  PartitionEnv env(graph, model, baseline.eval.runtime_s);
+  RlConfig config = BenchRlConfig();
+  config.rollouts_per_update = 8;
+  config.epochs = 2;
+  PolicyNetwork policy(config);
+  PpoTrainer trainer(policy, Rng(5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.Iterate(context, env).mean_reward);
+  }
+  state.counters["nodes"] = graph.NumNodes();
+  state.counters["samples/iter"] = config.rollouts_per_update;
+}
+BENCHMARK(BM_PpoIteration)->DenseRange(0, 1)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+}  // namespace mcm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Microbenchmarks for the constraint solver: SAMPLE solves, FIX repairs,
+// and decision-order generation across graph scales.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "partition/heuristics.h"
+#include "solver/cp_solver.h"
+#include "solver/modes.h"
+
+namespace mcm {
+namespace {
+
+const Graph& GraphForSize(int selector) {
+  static const Graph small = MakeMlp("mlp", 128, {256, 256, 128}, 10);
+  static const Graph medium = MakeResNet("resnet", ResNetConfig{});
+  static const Graph large = MakeLstm("lstm", 20, 128, 256, 100);
+  static const Graph bert = MakeBert();
+  switch (selector) {
+    case 0: return small;
+    case 1: return medium;
+    case 2: return large;
+    default: return bert;
+  }
+}
+
+void BM_SampleSolve(benchmark::State& state) {
+  const Graph& graph = GraphForSize(static_cast<int>(state.range(0)));
+  CpSolver solver(graph, 36);
+  const ProbMatrix probs = ProbMatrix::Uniform(graph.NumNodes(), 36);
+  Rng rng(1);
+  std::int64_t calls = 0;
+  for (auto _ : state) {
+    const SolveResult result =
+        SolveSampleWithRestarts(solver, graph, probs, rng);
+    benchmark::DoNotOptimize(result.success);
+    calls += result.set_domain_calls;
+  }
+  state.counters["nodes"] = graph.NumNodes();
+  state.counters["set_domain_calls/solve"] =
+      static_cast<double>(calls) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SampleSolve)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void BM_FixRepairGreedy(benchmark::State& state) {
+  const Graph& graph = GraphForSize(static_cast<int>(state.range(0)));
+  CpSolver solver(graph, 36);
+  const Partition greedy = GreedyContiguousByCount(graph, 36);
+  Rng rng(2);
+  for (auto _ : state) {
+    const SolveResult result =
+        SolveFixWithRestarts(solver, graph, greedy, rng);
+    benchmark::DoNotOptimize(result.nodes_kept);
+  }
+  state.counters["nodes"] = graph.NumNodes();
+}
+BENCHMARK(BM_FixRepairGreedy)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void BM_AlapOrder(benchmark::State& state) {
+  const Graph& graph = GraphForSize(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AlapRandomTopologicalOrder(graph, rng));
+  }
+  state.counters["nodes"] = graph.NumNodes();
+}
+BENCHMARK(BM_AlapOrder)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+void BM_StaticValidation(benchmark::State& state) {
+  const Graph& graph = GraphForSize(static_cast<int>(state.range(0)));
+  CpSolver solver(graph, 36);
+  const ProbMatrix probs = ProbMatrix::Uniform(graph.NumNodes(), 36);
+  Rng rng(4);
+  const SolveResult solved =
+      SolveSampleWithRestarts(solver, graph, probs, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidateStatic(graph, solved.partition));
+  }
+  state.counters["nodes"] = graph.NumNodes();
+}
+BENCHMARK(BM_StaticValidation)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mcm
+
+BENCHMARK_MAIN();

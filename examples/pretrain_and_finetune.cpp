@@ -1,0 +1,77 @@
+// The paper's transfer-learning story end to end, in miniature:
+//
+//   1. Pre-train a policy on a training set of small production-style
+//      graphs against the cheap analytical cost model (Section 4.3).
+//   2. Pick the best checkpoint with a validation worker.
+//   3. Deploy on an unseen graph: zero-shot inference and fine-tuning,
+//      compared with training from scratch.
+//
+// Runtime: a couple of minutes on one core.
+#include <cstdio>
+
+#include "costmodel/cost_model.h"
+#include "graph/generators.h"
+#include "pipeline/pretrain.h"
+#include "rl/env.h"
+#include "search/search.h"
+
+int main() {
+  using namespace mcm;
+
+  // The 66/5/16 split of the 87-graph corpus (paper Section 5.1).
+  DatasetSplit split = SplitCorpus(MakeCorpus());
+  split.train.resize(6);       // Miniature: 6 training graphs.
+  split.validation.resize(2);  //            2 validation graphs.
+  const Graph& target = split.test.front();  // One unseen test graph.
+
+  AnalyticalCostModel analytical{McmConfig{}};
+
+  // ---- Training phase (Figure 4, left).
+  PretrainConfig config;
+  config.rl = RlConfig::Quick();
+  config.rl.rollouts_per_update = 10;
+  config.total_samples = 300;
+  config.num_checkpoints = 3;
+  config.validation_zeroshot_samples = 5;
+  config.validation_finetune_samples = 20;
+  config.seed = 99;
+  PretrainPipeline pipeline(config, analytical);
+  std::printf("pre-training on %zu graphs (%d samples, analytical cost "
+              "model)...\n", split.train.size(), config.total_samples);
+  std::vector<Checkpoint> checkpoints = pipeline.Train(split.train);
+  const int best = pipeline.Validate(checkpoints, split.validation);
+  std::printf("validation picked checkpoint %d of %zu (fine-tune score "
+              "%.3f)\n", best, checkpoints.size(),
+              checkpoints[static_cast<std::size_t>(best)].finetune_score);
+
+  // ---- Deployment phase (Figure 4, right) on the unseen graph.
+  std::printf("\ndeploying on unseen graph %s (%d nodes)\n",
+              target.name().c_str(), target.NumNodes());
+  GraphContext context(target, 36);
+  Rng rng(100);
+  const BaselineResult baseline =
+      ComputeHeuristicBaseline(target, analytical, context.solver(), rng);
+  PartitionEnv env(target, analytical, baseline.eval.runtime_s);
+  const int budget = 60;
+
+  auto run = [&](const char* label, bool warm_start, bool zero_shot) {
+    PolicyNetwork policy(config.rl);
+    if (warm_start) {
+      PretrainPipeline::Restore(policy,
+                                checkpoints[static_cast<std::size_t>(best)]);
+    }
+    RlSearch search(policy, Rng(101), zero_shot, label);
+    const SearchTrace trace = search.Run(context, env, budget);
+    std::printf("  %-16s best improvement after %d samples: %.3fx "
+                "(after 20: %.3fx)\n", label, budget,
+                trace.BestWithin(static_cast<std::size_t>(budget)),
+                trace.BestWithin(20));
+  };
+  run("RL from scratch", /*warm_start=*/false, /*zero_shot=*/false);
+  run("RL Zeroshot", /*warm_start=*/true, /*zero_shot=*/true);
+  run("RL Finetuning", /*warm_start=*/true, /*zero_shot=*/false);
+
+  std::printf("\n(the full experiment with all 16 test graphs is "
+              "bench/fig5_pretrain_curves)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace mcm {
+
+std::optional<std::string> GetEnv(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback) {
+  const auto value = GetEnv(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 10);
+  if (end == value->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const auto value = GetEnv(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+BenchScale GetBenchScale() {
+  const auto value = GetEnv("MCM_BENCH_SCALE");
+  if (value && *value == "full") return BenchScale::kFull;
+  return BenchScale::kQuick;
+}
+
+std::int64_t ScaledInt(const std::string& override_name, std::int64_t quick,
+                       std::int64_t full) {
+  const std::int64_t base =
+      GetBenchScale() == BenchScale::kFull ? full : quick;
+  return GetEnvInt(override_name, base);
+}
+
+}  // namespace mcm

@@ -1,0 +1,32 @@
+// Environment-variable driven experiment scaling.
+//
+// Benches default to a reduced scale that reproduces the paper's qualitative
+// shapes on a single core in minutes; `MCM_BENCH_SCALE=full` switches every
+// bench to the paper's budgets (thousands of samples, 36 chips, 8x128
+// GraphSAGE).  Individual knobs can also be overridden directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mcm {
+
+// Returns the value of `name`, or nullopt when unset/empty.
+std::optional<std::string> GetEnv(const std::string& name);
+
+// Typed helpers with a default when unset or unparsable.
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback);
+double GetEnvDouble(const std::string& name, double fallback);
+
+enum class BenchScale { kQuick, kFull };
+
+// Reads MCM_BENCH_SCALE ("quick" default, "full" for paper budgets).
+BenchScale GetBenchScale();
+
+// Convenience: picks `quick` or `full` by the current scale, allowing an
+// `MCM_<name>` integer override on top.
+std::int64_t ScaledInt(const std::string& override_name, std::int64_t quick,
+                       std::int64_t full);
+
+}  // namespace mcm

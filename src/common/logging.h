@@ -1,0 +1,84 @@
+// Minimal leveled logging and check macros.
+//
+// The library proper signals contract violations with MCM_CHECK (aborting
+// with a message -- programming errors) and reports recoverable conditions
+// through return values; exceptions are reserved for I/O and parse errors.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mcm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+// Stream collector so call sites can write `MCM_LOG(kInfo) << "x=" << x;`.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckStream() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mcm
+
+#define MCM_LOG(level)                                              \
+  ::mcm::internal::LogStream(::mcm::LogLevel::level, __FILE__, __LINE__)
+
+#define MCM_CHECK(cond)                                             \
+  if (cond) {                                                       \
+  } else /* NOLINT */                                               \
+    ::mcm::internal::CheckStream(__FILE__, __LINE__, #cond)
+
+#define MCM_CHECK_EQ(a, b) MCM_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MCM_CHECK_NE(a, b) MCM_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MCM_CHECK_LT(a, b) MCM_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MCM_CHECK_LE(a, b) MCM_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MCM_CHECK_GT(a, b) MCM_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MCM_CHECK_GE(a, b) MCM_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "

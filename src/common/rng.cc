@@ -1,0 +1,88 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace mcm {
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::Normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = UniformDouble();
+  while (u1 <= 0.0) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::SampleDiscrete(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double r = UniformDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack.
+}
+
+std::size_t Rng::SampleDiscreteMasked(std::span<const double> weights,
+                                      std::uint64_t mask) {
+  assert(mask != 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size() && i < 64; ++i) {
+    if (mask & (1ULL << i)) total += weights[i];
+  }
+  if (total <= 0.0) {
+    // All eligible weights are zero: uniform over the mask.
+    const int bits = __builtin_popcountll(mask);
+    std::uint64_t k = UniformInt(static_cast<std::uint64_t>(bits));
+    for (std::size_t i = 0; i < 64; ++i) {
+      if (mask & (1ULL << i)) {
+        if (k == 0) return i;
+        --k;
+      }
+    }
+  }
+  double r = UniformDouble() * total;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < weights.size() && i < 64; ++i) {
+    if (!(mask & (1ULL << i))) continue;
+    last = i;
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return last;
+}
+
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return SplitMix64(state);
+}
+
+std::uint64_t HashSpan(std::span<const std::uint64_t> values,
+                       std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::uint64_t v : values) h = HashCombine(h, v);
+  return h;
+}
+
+}  // namespace mcm

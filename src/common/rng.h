@@ -1,0 +1,124 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in the library (graph generators, the constraint
+// solver's sampling modes, search strategies, network initialization, PPO
+// rollouts, the hardware simulator's noise) draws from an explicitly seeded
+// `Rng` so that a run is a pure function of its seeds.  We use xoshiro256++
+// seeded through splitmix64, which is fast, has a 2^256-1 period, and passes
+// BigCrush -- more than adequate for simulation workloads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mcm {
+
+// splitmix64 step; used for seeding and for stateless hashing-style draws.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x3243f6a8885a308dULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n). Requires n > 0. Uses Lemire's multiply-shift
+  // rejection method to avoid modulo bias.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    UniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  // Standard normal via Box-Muller (no cached second value; simple and
+  // stateless with respect to the caller).
+  double Normal();
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Samples an index from a (not necessarily normalized) non-negative weight
+  // vector. Requires at least one strictly positive weight.
+  std::size_t SampleDiscrete(std::span<const double> weights);
+
+  // Samples an index from a restricted support: only positions whose bit is
+  // set in `mask` (a 64-bit domain bitset) are eligible.  Falls back to a
+  // uniform draw over the mask when all eligible weights are zero.
+  std::size_t SampleDiscreteMasked(std::span<const double> weights,
+                                   std::uint64_t mask);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = UniformInt(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // A fresh generator deterministically derived from this one's stream;
+  // used to give each worker/graph/episode an independent substream.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+// Stateless 64-bit mix of several values; used for reproducible per-entity
+// noise in the hardware simulator (same partition => same "measured" time).
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b);
+std::uint64_t HashSpan(std::span<const std::uint64_t> values,
+                       std::uint64_t seed = 0x5bf03635dd1e3a51ULL);
+
+}  // namespace mcm

@@ -1,0 +1,69 @@
+// Small statistics toolkit used across benches and the pre-training pipeline:
+// summary statistics, geometric means (the paper reports geomean throughput
+// improvements over the 16-graph test set), Pearson correlation (Figure 7's
+// calibration study), and streaming accumulators for reward normalization.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcm {
+
+double Mean(std::span<const double> xs);
+double Variance(std::span<const double> xs);  // Population variance.
+double Stddev(std::span<const double> xs);
+
+// Geometric mean; requires all inputs strictly positive.
+double Geomean(std::span<const double> xs);
+
+// Pearson correlation coefficient; returns 0 when either side is constant.
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+// p in [0, 1]; linear interpolation between order statistics.
+double Percentile(std::vector<double> xs, double p);
+
+// Welford streaming mean/variance; used for reward normalization in PPO and
+// for the paper's "mean and standard deviation over 5 runs" reporting.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t Count() const { return count_; }
+  double Mean() const { return count_ ? mean_ : 0.0; }
+  double Variance() const { return count_ > 1 ? m2_ / count_ : 0.0; }
+  double SampleVariance() const {
+    return count_ > 1 ? m2_ / (count_ - 1) : 0.0;
+  }
+  double Stddev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exponential moving average, used as a simple reward baseline option.
+class Ema {
+ public:
+  explicit Ema(double decay) : decay_(decay) {}
+  void Add(double x) {
+    value_ = initialized_ ? decay_ * value_ + (1.0 - decay_) * x : x;
+    initialized_ = true;
+  }
+  bool Initialized() const { return initialized_; }
+  double Value() const { return value_; }
+
+ private:
+  double decay_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace mcm

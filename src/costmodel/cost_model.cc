@@ -1,0 +1,28 @@
+#include "costmodel/cost_model.h"
+
+#include <algorithm>
+
+namespace mcm {
+
+EvalResult AnalyticalCostModel::Evaluate(const Graph& graph,
+                                         const Partition& partition) {
+  if (!IsStaticallyValid(graph, partition)) {
+    return EvalResult::Invalid(EvalFailure::kStaticConstraint);
+  }
+  const auto loads = ComputeChipLoads(graph, partition);
+  const double effective_rate =
+      config_.chip_flops_per_s * config_.effective_utilization;
+  double max_stage = 0.0;   // Pipeline interval (throughput bottleneck).
+  double total_stage = 0.0; // Pipeline fill (single-sample latency).
+  for (const ChipLoad& load : loads) {
+    if (load.num_nodes == 0) continue;
+    const double compute_s = load.compute_flops / effective_rate;
+    const double comm_s =
+        (load.bytes_in + load.bytes_out) / config_.link_bandwidth_bytes_per_s;
+    max_stage = std::max(max_stage, compute_s + comm_s);
+    total_stage += compute_s + comm_s;
+  }
+  return EvalResult::Valid(max_stage, total_stage);
+}
+
+}  // namespace mcm

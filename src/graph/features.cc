@@ -1,0 +1,53 @@
+#include "graph/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcm {
+namespace {
+
+// log1p compressed and scaled to roughly [0, 1] for resource magnitudes that
+// span many orders of magnitude (a Gelu over 2 M values vs a 4 GFLOP MatMul).
+float LogScale(double value, double max_value) {
+  if (max_value <= 0.0) return 0.0;
+  return static_cast<float>(std::log1p(value) / std::log1p(max_value));
+}
+
+}  // namespace
+
+std::vector<float> ExtractNodeFeatures(const Graph& graph) {
+  const int n = graph.NumNodes();
+  std::vector<float> features(static_cast<std::size_t>(n) * kNodeFeatureDim,
+                              0.0f);
+  if (n == 0) return features;
+
+  double max_flops = 0.0, max_out = 0.0, max_params = 0.0;
+  int max_in = 1, max_out_deg = 1;
+  for (const Node& node : graph.nodes()) {
+    max_flops = std::max(max_flops, node.compute_flops);
+    max_out = std::max(max_out, node.output_bytes);
+    max_params = std::max(max_params, node.param_bytes);
+    max_in = std::max(max_in, graph.InDegree(node.id));
+    max_out_deg = std::max(max_out_deg, graph.OutDegree(node.id));
+  }
+  const std::vector<int> depths = graph.Depths();
+  const int max_depth = std::max(1, graph.CriticalPathLength());
+
+  for (const Node& node : graph.nodes()) {
+    float* row = &features[static_cast<std::size_t>(node.id) * kNodeFeatureDim];
+    row[static_cast<int>(node.op)] = 1.0f;
+    float* scalars = row + kNumOpTypes;
+    scalars[0] = LogScale(node.compute_flops, max_flops);
+    scalars[1] = LogScale(node.output_bytes, max_out);
+    scalars[2] = LogScale(node.param_bytes, max_params);
+    scalars[3] = static_cast<float>(graph.InDegree(node.id)) /
+                 static_cast<float>(max_in);
+    scalars[4] = static_cast<float>(graph.OutDegree(node.id)) /
+                 static_cast<float>(max_out_deg);
+    scalars[5] = static_cast<float>(depths[static_cast<std::size_t>(node.id)]) /
+                 static_cast<float>(max_depth);
+  }
+  return features;
+}
+
+}  // namespace mcm

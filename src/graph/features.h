@@ -1,0 +1,24 @@
+// Node feature extraction for the GraphSAGE feature network.
+//
+// Each node is encoded as a fixed-width float vector: a one-hot of its op
+// type plus log-scaled resource annotations and structural features
+// (degrees, topological depth fraction).  Features are normalized per graph
+// so the policy transfers across graphs with very different absolute scales
+// (the key to the paper's pre-training generalization).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mcm {
+
+// One-hot op type + {log flops, log output bytes, log param bytes,
+// in-degree, out-degree, depth fraction}.
+inline constexpr int kNumScalarFeatures = 6;
+inline constexpr int kNodeFeatureDim = kNumOpTypes + kNumScalarFeatures;
+
+// Row-major [NumNodes x kNodeFeatureDim] feature matrix.
+std::vector<float> ExtractNodeFeatures(const Graph& graph);
+
+}  // namespace mcm

@@ -1,0 +1,628 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <initializer_list>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mcm {
+namespace {
+
+double ActBytes(double values) { return values * kActivationBytesPerValue; }
+double WeightBytes(double params) { return params * kWeightBytesPerValue; }
+
+// Thin builder: creates nodes and wires predecessor edges in one call.
+class Builder {
+ public:
+  explicit Builder(std::string name) : graph_(std::move(name)) {}
+
+  int Op(OpType op, const std::string& name, double flops, double out_values,
+         double params, std::initializer_list<int> preds) {
+    const int id = graph_.AddNode(op, name, flops, ActBytes(out_values),
+                                  WeightBytes(params));
+    for (int p : preds) graph_.AddEdge(p, id);
+    return id;
+  }
+
+  int Op(OpType op, const std::string& name, double flops, double out_values,
+         double params, const std::vector<int>& preds) {
+    const int id = graph_.AddNode(op, name, flops, ActBytes(out_values),
+                                  WeightBytes(params));
+    for (int p : preds) graph_.AddEdge(p, id);
+    return id;
+  }
+
+  Graph Finish() && { return std::move(graph_); }
+  int NumNodes() const { return graph_.NumNodes(); }
+
+ private:
+  Graph graph_;
+};
+
+// Appends a dense layer (MatMul + bias Add + optional activation); returns
+// the id of the last node.  `in` and `out` are vector widths; `batch` scales
+// both FLOPs and activation sizes (sequence length for recurrent models).
+int DenseLayer(Builder& b, const std::string& prefix, int input_node,
+               double batch, double in, double out, OpType activation) {
+  const int mm = b.Op(OpType::kMatMul, prefix + "/matmul", 2.0 * batch * in * out,
+                      batch * out, in * out, {input_node});
+  const int bias =
+      b.Op(OpType::kAdd, prefix + "/bias", batch * out, batch * out, out, {mm});
+  if (activation == OpType::kOutput) return bias;  // Sentinel: no activation.
+  return b.Op(activation, prefix + "/act", batch * out, batch * out, 0.0,
+              {bias});
+}
+
+// Appends Conv2d + BatchNorm + Relu; returns the Relu id.
+int ConvBnRelu(Builder& b, const std::string& prefix, int input_node, int h,
+               int w, int cin, int cout, int kernel, int stride = 1) {
+  const int oh = h / stride;
+  const int ow = w / stride;
+  const double out_values = static_cast<double>(oh) * ow * cout;
+  const double flops =
+      2.0 * oh * ow * static_cast<double>(cout) * cin * kernel * kernel;
+  const double params = static_cast<double>(cin) * cout * kernel * kernel;
+  const int conv = b.Op(OpType::kConv2d, prefix + "/conv", flops, out_values,
+                        params, {input_node});
+  const int bn = b.Op(OpType::kBatchNorm, prefix + "/bn", 4.0 * out_values,
+                      out_values, 4.0 * cout, {conv});
+  return b.Op(OpType::kRelu, prefix + "/relu", out_values, out_values, 0.0,
+              {bn});
+}
+
+}  // namespace
+
+Graph MakeMlp(const std::string& name, int input_dim,
+              const std::vector<int>& hidden_dims, int output_dim) {
+  MCM_CHECK_GT(input_dim, 0);
+  MCM_CHECK_GT(output_dim, 0);
+  Builder b(name);
+  int cur = b.Op(OpType::kInput, "input", 0.0, input_dim, 0.0, {});
+  double in = input_dim;
+  for (std::size_t i = 0; i < hidden_dims.size(); ++i) {
+    const double out = hidden_dims[i];
+    cur = DenseLayer(b, "fc" + std::to_string(i), cur, 1.0, in, out,
+                     OpType::kRelu);
+    in = out;
+  }
+  cur = DenseLayer(b, "logits", cur, 1.0, in, output_dim, OpType::kOutput);
+  cur = b.Op(OpType::kSoftmax, "softmax", 5.0 * output_dim, output_dim, 0.0,
+             {cur});
+  b.Op(OpType::kOutput, "output", 0.0, output_dim, 0.0, {cur});
+  return std::move(b).Finish();
+}
+
+Graph MakeCnn(const std::string& name, const CnnConfig& config) {
+  Builder b(name);
+  int h = config.image_size;
+  int w = config.image_size;
+  int channels = config.in_channels;
+  int cur = b.Op(OpType::kInput, "image", 0.0,
+                 static_cast<double>(h) * w * channels, 0.0, {});
+  int next_channels = config.base_channels;
+  for (int stage = 0; stage < config.num_stages; ++stage) {
+    for (int block = 0; block < config.blocks_per_stage; ++block) {
+      const std::string prefix =
+          "s" + std::to_string(stage) + "b" + std::to_string(block);
+      cur = ConvBnRelu(b, prefix, cur, h, w, channels, next_channels, 3);
+      channels = next_channels;
+    }
+    const double pooled = static_cast<double>(h / 2) * (w / 2) * channels;
+    cur = b.Op(OpType::kMaxPool, "s" + std::to_string(stage) + "/pool",
+               static_cast<double>(h) * w * channels, pooled, 0.0, {cur});
+    h /= 2;
+    w /= 2;
+    next_channels *= 2;
+  }
+  const double feat_values = static_cast<double>(h) * w * channels;
+  cur = b.Op(OpType::kAvgPool, "gap", feat_values, channels, 0.0, {cur});
+  cur = b.Op(OpType::kReshape, "flatten", 0.0, channels, 0.0, {cur});
+  cur = DenseLayer(b, "fc", cur, 1.0, channels, config.fc_dim, OpType::kRelu);
+  cur = DenseLayer(b, "logits", cur, 1.0, config.fc_dim, config.num_classes,
+                   OpType::kOutput);
+  cur = b.Op(OpType::kSoftmax, "softmax", 5.0 * config.num_classes,
+             config.num_classes, 0.0, {cur});
+  b.Op(OpType::kOutput, "output", 0.0, config.num_classes, 0.0, {cur});
+  return std::move(b).Finish();
+}
+
+Graph MakeResNet(const std::string& name, const ResNetConfig& config) {
+  Builder b(name);
+  int h = config.image_size / 2;
+  int w = config.image_size / 2;
+  int channels = config.base_channels;
+  int cur = b.Op(OpType::kInput, "image", 0.0,
+                 static_cast<double>(config.image_size) * config.image_size * 3,
+                 0.0, {});
+  cur = ConvBnRelu(b, "stem", cur, config.image_size, config.image_size, 3,
+                   channels, 7, 2);
+  for (int stage = 0; stage < config.num_stages; ++stage) {
+    const int out_channels = config.base_channels << stage;
+    for (int block = 0; block < config.blocks_per_stage; ++block) {
+      const std::string prefix =
+          "s" + std::to_string(stage) + "b" + std::to_string(block);
+      const int stride = (block == 0 && stage > 0) ? 2 : 1;
+      int skip = cur;
+      if (stride != 1 || channels != out_channels) {
+        // Projection shortcut.
+        const int oh = h / stride, ow = w / stride;
+        skip = b.Op(OpType::kConv2d, prefix + "/proj",
+                    2.0 * oh * ow * static_cast<double>(out_channels) * channels,
+                    static_cast<double>(oh) * ow * out_channels,
+                    static_cast<double>(channels) * out_channels, {cur});
+      }
+      cur = ConvBnRelu(b, prefix + "/a", cur, h, w, channels, out_channels, 3,
+                       stride);
+      h /= stride;
+      w /= stride;
+      // Second conv of the block, pre-activation of the residual Add.
+      const double out_values = static_cast<double>(h) * w * out_channels;
+      const int conv2 =
+          b.Op(OpType::kConv2d, prefix + "/b/conv",
+               2.0 * h * w * static_cast<double>(out_channels) * out_channels * 9,
+               out_values, static_cast<double>(out_channels) * out_channels * 9,
+               {cur});
+      const int bn2 = b.Op(OpType::kBatchNorm, prefix + "/b/bn",
+                           4.0 * out_values, out_values, 4.0 * out_channels,
+                           {conv2});
+      const int add = b.Op(OpType::kAdd, prefix + "/residual", out_values,
+                           out_values, 0.0, {bn2, skip});
+      cur = b.Op(OpType::kRelu, prefix + "/relu", out_values, out_values, 0.0,
+                 {add});
+      channels = out_channels;
+    }
+  }
+  cur = b.Op(OpType::kAvgPool, "gap", static_cast<double>(h) * w * channels,
+             channels, 0.0, {cur});
+  cur = DenseLayer(b, "logits", cur, 1.0, channels, config.num_classes,
+                   OpType::kOutput);
+  cur = b.Op(OpType::kSoftmax, "softmax", 5.0 * config.num_classes,
+             config.num_classes, 0.0, {cur});
+  b.Op(OpType::kOutput, "output", 0.0, config.num_classes, 0.0, {cur});
+  return std::move(b).Finish();
+}
+
+Graph MakeInception(const std::string& name, const InceptionConfig& config) {
+  Builder b(name);
+  int h = config.image_size / 2;
+  int w = config.image_size / 2;
+  int channels = config.base_channels;
+  int cur = b.Op(OpType::kInput, "image", 0.0,
+                 static_cast<double>(config.image_size) * config.image_size * 3,
+                 0.0, {});
+  cur = ConvBnRelu(b, "stem", cur, config.image_size, config.image_size, 3,
+                   channels, 7, 2);
+  for (int m = 0; m < config.num_modules; ++m) {
+    const std::string prefix = "mod" + std::to_string(m);
+    const int branch_channels = channels / 2;
+    const double branch_values = static_cast<double>(h) * w * branch_channels;
+    // 1x1 branch.
+    const int b1 = ConvBnRelu(b, prefix + "/b1", cur, h, w, channels,
+                              branch_channels, 1);
+    // 1x1 -> 3x3 branch.
+    int b2 = ConvBnRelu(b, prefix + "/b2a", cur, h, w, channels,
+                        branch_channels, 1);
+    b2 = ConvBnRelu(b, prefix + "/b2b", b2, h, w, branch_channels,
+                    branch_channels, 3);
+    // 1x1 -> 5x5 branch.
+    int b3 = ConvBnRelu(b, prefix + "/b3a", cur, h, w, channels,
+                        branch_channels, 1);
+    b3 = ConvBnRelu(b, prefix + "/b3b", b3, h, w, branch_channels,
+                    branch_channels, 5);
+    // pool -> 1x1 branch.
+    int b4 = b.Op(OpType::kMaxPool, prefix + "/b4pool",
+                  static_cast<double>(h) * w * channels,
+                  static_cast<double>(h) * w * channels, 0.0, {cur});
+    b4 = ConvBnRelu(b, prefix + "/b4", b4, h, w, channels, branch_channels, 1);
+    cur = b.Op(OpType::kConcat, prefix + "/concat", 0.0, 4.0 * branch_values,
+               0.0, {b1, b2, b3, b4});
+    channels = 4 * branch_channels;
+    if (m % 2 == 1) {
+      cur = b.Op(OpType::kMaxPool, prefix + "/down",
+                 static_cast<double>(h) * w * channels,
+                 static_cast<double>(h / 2) * (w / 2) * channels, 0.0, {cur});
+      h /= 2;
+      w /= 2;
+    }
+  }
+  cur = b.Op(OpType::kAvgPool, "gap", static_cast<double>(h) * w * channels,
+             channels, 0.0, {cur});
+  cur = DenseLayer(b, "logits", cur, 1.0, channels, config.num_classes,
+                   OpType::kOutput);
+  cur = b.Op(OpType::kSoftmax, "softmax", 5.0 * config.num_classes,
+             config.num_classes, 0.0, {cur});
+  b.Op(OpType::kOutput, "output", 0.0, config.num_classes, 0.0, {cur});
+  return std::move(b).Finish();
+}
+
+Graph MakeRnn(const std::string& name, int time_steps, int input_dim,
+              int hidden_dim, int output_dim) {
+  MCM_CHECK_GT(time_steps, 0);
+  Builder b(name);
+  int h = b.Op(OpType::kConstant, "h0", 0.0, hidden_dim, 0.0, {});
+  for (int t = 0; t < time_steps; ++t) {
+    const std::string prefix = "t" + std::to_string(t);
+    const int x = b.Op(OpType::kInput, prefix + "/x", 0.0, input_dim, 0.0, {});
+    const int wx = b.Op(OpType::kMatMul, prefix + "/wx",
+                        2.0 * input_dim * hidden_dim, hidden_dim,
+                        static_cast<double>(input_dim) * hidden_dim, {x});
+    const int uh = b.Op(OpType::kMatMul, prefix + "/uh",
+                        2.0 * hidden_dim * hidden_dim, hidden_dim,
+                        static_cast<double>(hidden_dim) * hidden_dim, {h});
+    const int sum = b.Op(OpType::kAdd, prefix + "/sum", hidden_dim, hidden_dim,
+                         hidden_dim, {wx, uh});
+    h = b.Op(OpType::kTanh, prefix + "/tanh", hidden_dim, hidden_dim, 0.0,
+             {sum});
+  }
+  int cur = DenseLayer(b, "logits", h, 1.0, hidden_dim, output_dim,
+                       OpType::kOutput);
+  cur = b.Op(OpType::kSoftmax, "softmax", 5.0 * output_dim, output_dim, 0.0,
+             {cur});
+  b.Op(OpType::kOutput, "output", 0.0, output_dim, 0.0, {cur});
+  return std::move(b).Finish();
+}
+
+namespace {
+
+// One LSTM step; returns {h, c} node ids.  Gates use a fused input-and-
+// recurrent MatMul per gate plus bias and nonlinearity.
+std::pair<int, int> LstmStep(Builder& b, const std::string& prefix, int x,
+                             int h_prev, int c_prev, int input_dim,
+                             int hidden_dim) {
+  const double gate_params =
+      static_cast<double>(input_dim + hidden_dim) * hidden_dim;
+  const double gate_flops = 2.0 * (input_dim + hidden_dim) * hidden_dim;
+  auto gate = [&](const std::string& gate_name, OpType act) {
+    const int mm = b.Op(OpType::kMatMul, prefix + "/" + gate_name + "/mm",
+                        gate_flops, hidden_dim, gate_params, {x, h_prev});
+    const int bias = b.Op(OpType::kAdd, prefix + "/" + gate_name + "/bias",
+                          hidden_dim, hidden_dim, hidden_dim, {mm});
+    return b.Op(act, prefix + "/" + gate_name + "/act", hidden_dim, hidden_dim,
+                0.0, {bias});
+  };
+  const int i = gate("i", OpType::kSigmoid);
+  const int f = gate("f", OpType::kSigmoid);
+  const int g = gate("g", OpType::kTanh);
+  const int o = gate("o", OpType::kSigmoid);
+  const int fc = b.Op(OpType::kMul, prefix + "/f*c", hidden_dim, hidden_dim,
+                      0.0, {f, c_prev});
+  const int ig = b.Op(OpType::kMul, prefix + "/i*g", hidden_dim, hidden_dim,
+                      0.0, {i, g});
+  const int c = b.Op(OpType::kAdd, prefix + "/c", hidden_dim, hidden_dim, 0.0,
+                     {fc, ig});
+  const int tanh_c = b.Op(OpType::kTanh, prefix + "/tanh_c", hidden_dim,
+                          hidden_dim, 0.0, {c});
+  const int h = b.Op(OpType::kMul, prefix + "/h", hidden_dim, hidden_dim, 0.0,
+                     {o, tanh_c});
+  return {h, c};
+}
+
+}  // namespace
+
+Graph MakeLstm(const std::string& name, int time_steps, int input_dim,
+               int hidden_dim, int output_dim) {
+  MCM_CHECK_GT(time_steps, 0);
+  Builder b(name);
+  int h = b.Op(OpType::kConstant, "h0", 0.0, hidden_dim, 0.0, {});
+  int c = b.Op(OpType::kConstant, "c0", 0.0, hidden_dim, 0.0, {});
+  for (int t = 0; t < time_steps; ++t) {
+    const std::string prefix = "t" + std::to_string(t);
+    const int x = b.Op(OpType::kInput, prefix + "/x", 0.0, input_dim, 0.0, {});
+    std::tie(h, c) = LstmStep(b, prefix, x, h, c, input_dim, hidden_dim);
+  }
+  int cur = DenseLayer(b, "logits", h, 1.0, hidden_dim, output_dim,
+                       OpType::kOutput);
+  cur = b.Op(OpType::kSoftmax, "softmax", 5.0 * output_dim, output_dim, 0.0,
+             {cur});
+  b.Op(OpType::kOutput, "output", 0.0, output_dim, 0.0, {cur});
+  return std::move(b).Finish();
+}
+
+Graph MakeSeq2Seq(const std::string& name, int encoder_steps,
+                  int decoder_steps, int input_dim, int hidden_dim,
+                  int vocab_dim) {
+  Builder b(name);
+  int h = b.Op(OpType::kConstant, "enc/h0", 0.0, hidden_dim, 0.0, {});
+  int c = b.Op(OpType::kConstant, "enc/c0", 0.0, hidden_dim, 0.0, {});
+  for (int t = 0; t < encoder_steps; ++t) {
+    const std::string prefix = "enc/t" + std::to_string(t);
+    const int x = b.Op(OpType::kInput, prefix + "/x", 0.0, input_dim, 0.0, {});
+    std::tie(h, c) = LstmStep(b, prefix, x, h, c, input_dim, hidden_dim);
+  }
+  // Decoder consumes the encoder's final state; each step also emits logits.
+  for (int t = 0; t < decoder_steps; ++t) {
+    const std::string prefix = "dec/t" + std::to_string(t);
+    const int x = b.Op(OpType::kInput, prefix + "/y", 0.0, input_dim, 0.0, {});
+    std::tie(h, c) = LstmStep(b, prefix, x, h, c, input_dim, hidden_dim);
+    const int logits = DenseLayer(b, prefix + "/proj", h, 1.0, hidden_dim,
+                                  vocab_dim, OpType::kOutput);
+    const int sm = b.Op(OpType::kSoftmax, prefix + "/softmax", 5.0 * vocab_dim,
+                        vocab_dim, 0.0, {logits});
+    b.Op(OpType::kOutput, prefix + "/out", 0.0, vocab_dim, 0.0, {sm});
+  }
+  return std::move(b).Finish();
+}
+
+namespace {
+
+// One transformer encoder layer; returns the id of the final LayerNorm.
+//
+// The attention-mask bias is materialized as a per-layer Constant rather
+// than a graph-wide broadcast: a single mask node feeding all layers would
+// have consumers on many chips, which the NoC triangle constraint (Eq. 4)
+// forbids -- production compilers rematerialize such values per use site.
+//
+// Node budget: 9 (QKV proj) + 1 (mask) + 16*4 (per-head attention)
+// + 1 (concat) + 5 (output proj + dropout + residual + LN)
+// + 8 (FFN + dropout) = 88 nodes.
+int TransformerLayer(Builder& b, const std::string& prefix, int input_node,
+                     const TransformerConfig& cfg) {
+  const double seq = cfg.seq_len;
+  const double hidden = cfg.hidden_dim;
+  const double head_dim = hidden / cfg.num_heads;
+  const double proj_flops = 2.0 * seq * hidden * hidden;
+  const double proj_params = hidden * hidden;
+  const double seq_hidden = seq * hidden;
+
+  auto projection = [&](const std::string& what) {
+    const int mm = b.Op(OpType::kMatMul, prefix + "/" + what + "/mm",
+                        proj_flops, seq_hidden, proj_params, {input_node});
+    const int bias = b.Op(OpType::kAdd, prefix + "/" + what + "/bias",
+                          seq_hidden, seq_hidden, hidden, {mm});
+    return b.Op(OpType::kReshape, prefix + "/" + what + "/heads", 0.0,
+                seq_hidden, 0.0, {bias});
+  };
+  const int q = projection("q");
+  const int k = projection("k");
+  const int v = projection("v");
+  const int mask = b.Op(OpType::kConstant, prefix + "/mask", 0.0, seq * seq,
+                        0.0, {});
+
+  std::vector<int> head_outputs;
+  head_outputs.reserve(static_cast<std::size_t>(cfg.num_heads));
+  for (int head = 0; head < cfg.num_heads; ++head) {
+    const std::string hp = prefix + "/h" + std::to_string(head);
+    const int scores =
+        b.Op(OpType::kMatMul, hp + "/qk", 2.0 * seq * seq * head_dim,
+             seq * seq, 0.0, {q, k});
+    const int scaled = b.Op(OpType::kMul, hp + "/scale", seq * seq, seq * seq,
+                            0.0, {scores});
+    const int probs = b.Op(OpType::kSoftmax, hp + "/softmax", 5.0 * seq * seq,
+                           seq * seq, 0.0, {scaled, mask});
+    head_outputs.push_back(b.Op(OpType::kMatMul, hp + "/av",
+                                2.0 * seq * seq * head_dim, seq * head_dim,
+                                0.0, {probs, v}));
+  }
+  const int concat = b.Op(OpType::kConcat, prefix + "/concat", 0.0, seq_hidden,
+                          0.0, head_outputs);
+  const int out_mm = b.Op(OpType::kMatMul, prefix + "/out/mm", proj_flops,
+                          seq_hidden, proj_params, {concat});
+  const int out_bias = b.Op(OpType::kAdd, prefix + "/out/bias", seq_hidden,
+                            seq_hidden, hidden, {out_mm});
+  const int attn_drop = b.Op(OpType::kMul, prefix + "/attn/dropout",
+                             seq_hidden, seq_hidden, 0.0, {out_bias});
+  const int attn_res = b.Op(OpType::kAdd, prefix + "/attn/residual",
+                            seq_hidden, seq_hidden, 0.0,
+                            {attn_drop, input_node});
+  const int attn_ln = b.Op(OpType::kLayerNorm, prefix + "/attn/ln",
+                           8.0 * seq_hidden, seq_hidden, 2.0 * hidden,
+                           {attn_res});
+
+  const double ffn = cfg.ffn_dim;
+  const int ffn_mm1 = b.Op(OpType::kMatMul, prefix + "/ffn/mm1",
+                           2.0 * seq * hidden * ffn, seq * ffn, hidden * ffn,
+                           {attn_ln});
+  const int ffn_b1 = b.Op(OpType::kAdd, prefix + "/ffn/bias1", seq * ffn,
+                          seq * ffn, ffn, {ffn_mm1});
+  const int gelu = b.Op(OpType::kGelu, prefix + "/ffn/gelu", 8.0 * seq * ffn,
+                        seq * ffn, 0.0, {ffn_b1});
+  const int ffn_mm2 = b.Op(OpType::kMatMul, prefix + "/ffn/mm2",
+                           2.0 * seq * ffn * hidden, seq_hidden, ffn * hidden,
+                           {gelu});
+  const int ffn_b2 = b.Op(OpType::kAdd, prefix + "/ffn/bias2", seq_hidden,
+                          seq_hidden, hidden, {ffn_mm2});
+  const int ffn_drop = b.Op(OpType::kMul, prefix + "/ffn/dropout", seq_hidden,
+                            seq_hidden, 0.0, {ffn_b2});
+  const int ffn_res = b.Op(OpType::kAdd, prefix + "/ffn/residual", seq_hidden,
+                           seq_hidden, 0.0, {ffn_drop, attn_ln});
+  return b.Op(OpType::kLayerNorm, prefix + "/ffn/ln", 8.0 * seq_hidden,
+              seq_hidden, 2.0 * hidden, {ffn_res});
+}
+
+}  // namespace
+
+Graph MakeTransformerEncoder(const std::string& name,
+                             const TransformerConfig& cfg) {
+  Builder b(name);
+  const double seq = cfg.seq_len;
+  const double hidden = cfg.hidden_dim;
+  const double seq_hidden = seq * hidden;
+
+  // Embedding section: 8 nodes.
+  const int ids = b.Op(OpType::kInput, "input_ids", 0.0, seq, 0.0, {});
+  const int seg_ids = b.Op(OpType::kInput, "segment_ids", 0.0, seq, 0.0, {});
+  const int tok_emb =
+      b.Op(OpType::kEmbedding, "embeddings/token", seq_hidden, seq_hidden,
+           static_cast<double>(cfg.vocab_size) * hidden, {ids});
+  const int seg_emb = b.Op(OpType::kEmbedding, "embeddings/segment",
+                           seq_hidden, seq_hidden, 2.0 * hidden, {seg_ids});
+  const int pos_emb = b.Op(OpType::kConstant, "embeddings/position", 0.0,
+                           seq_hidden, seq * hidden, {});
+  const int sum1 = b.Op(OpType::kAdd, "embeddings/add_segment", seq_hidden,
+                        seq_hidden, 0.0, {tok_emb, seg_emb});
+  const int sum2 = b.Op(OpType::kAdd, "embeddings/add_position", seq_hidden,
+                        seq_hidden, 0.0, {sum1, pos_emb});
+  int cur = b.Op(OpType::kLayerNorm, "embeddings/ln", 8.0 * seq_hidden,
+                 seq_hidden, 2.0 * hidden, {sum2});
+
+  for (int layer = 0; layer < cfg.num_layers; ++layer) {
+    cur = TransformerLayer(b, "layer" + std::to_string(layer), cur, cfg);
+  }
+
+  // Pooler head (4 nodes): first-token slice -> dense tanh.
+  const int cls = b.Op(OpType::kSplit, "pooler/cls", 0.0, hidden, 0.0, {cur});
+  const int pool_mm = b.Op(OpType::kMatMul, "pooler/mm", 2.0 * hidden * hidden,
+                           hidden, hidden * hidden, {cls});
+  const int pool_bias = b.Op(OpType::kAdd, "pooler/bias", hidden, hidden,
+                             hidden, {pool_mm});
+  const int pooled =
+      b.Op(OpType::kTanh, "pooler/tanh", hidden, hidden, 0.0, {pool_bias});
+  // Classifier head (4 nodes): NSP-style binary classifier.
+  const int cls_mm = b.Op(OpType::kMatMul, "classifier/mm", 2.0 * hidden * 2.0,
+                          2.0, hidden * 2.0, {pooled});
+  const int cls_bias =
+      b.Op(OpType::kAdd, "classifier/bias", 2.0, 2.0, 2.0, {cls_mm});
+  const int cls_sm = b.Op(OpType::kSoftmax, "classifier/softmax", 10.0, 2.0,
+                          0.0, {cls_bias});
+  b.Op(OpType::kOutput, "classifier/output", 0.0, 2.0, 0.0, {cls_sm});
+  // MLM head (10 nodes), operating on the ~15% masked positions only (76 of
+  // 512 tokens), as production BERT does; the vocabulary projection ties the
+  // token-embedding weights, so it contributes FLOPs but no additional
+  // parameters.
+  const double masked = std::floor(0.15 * seq);
+  const int mlm_gather = b.Op(OpType::kSplit, "mlm/gather", 0.0,
+                              masked * hidden, 0.0, {cur});
+  const int mlm_reshape = b.Op(OpType::kReshape, "mlm/reshape", 0.0,
+                               masked * hidden, 0.0, {mlm_gather});
+  const int mlm_mm = b.Op(OpType::kMatMul, "mlm/transform/mm",
+                          2.0 * masked * hidden * hidden, masked * hidden,
+                          hidden * hidden, {mlm_reshape});
+  const double masked_hidden = masked * hidden;
+  const int mlm_bias = b.Op(OpType::kAdd, "mlm/transform/bias", masked_hidden,
+                            masked_hidden, hidden, {mlm_mm});
+  const int mlm_gelu = b.Op(OpType::kGelu, "mlm/transform/gelu",
+                            8.0 * masked_hidden, masked_hidden, 0.0,
+                            {mlm_bias});
+  const int mlm_ln = b.Op(OpType::kLayerNorm, "mlm/transform/ln",
+                          8.0 * masked_hidden, masked_hidden, 2.0 * hidden,
+                          {mlm_gelu});
+  const int vocab_mm = b.Op(OpType::kMatMul, "mlm/vocab/mm",
+                            2.0 * masked * hidden * cfg.vocab_size,
+                            masked * cfg.vocab_size, 0.0, {mlm_ln});
+  const int vocab_bias = b.Op(OpType::kAdd, "mlm/vocab/bias",
+                              masked * cfg.vocab_size,
+                              masked * cfg.vocab_size, cfg.vocab_size,
+                              {vocab_mm});
+  const int mlm_sm = b.Op(OpType::kSoftmax, "mlm/softmax",
+                          5.0 * masked * cfg.vocab_size,
+                          masked * cfg.vocab_size, 0.0, {vocab_bias});
+  b.Op(OpType::kOutput, "mlm/output", 0.0, masked * cfg.vocab_size, 0.0,
+       {mlm_sm});
+
+  return std::move(b).Finish();
+}
+
+Graph MakeBert() {
+  Graph g = MakeTransformerEncoder("bert", TransformerConfig{});
+  // The paper's BERT graph: exactly 2138 nodes.  The decomposition above is
+  // sized to produce this count; a regression here means the layer structure
+  // changed.
+  MCM_CHECK_EQ(g.NumNodes(), 2138);
+  return g;
+}
+
+std::vector<Graph> MakeCorpus(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Graph> corpus;
+  corpus.reserve(87);
+  // 87 graphs spread over 7 attention-free families, mirroring the paper's
+  // CNN/RNN-heavy production mix.
+  auto index_name = [](const char* family, int i) {
+    return std::string(family) + "_" + std::to_string(i);
+  };
+  // 16 MLPs.
+  for (int i = 0; i < 16; ++i) {
+    const int depth = static_cast<int>(rng.UniformInt(3, 12));
+    std::vector<int> dims;
+    for (int d = 0; d < depth; ++d) {
+      dims.push_back(static_cast<int>(rng.UniformInt(3, 11)) * 64);
+    }
+    corpus.push_back(MakeMlp(index_name("mlp", i),
+                             static_cast<int>(rng.UniformInt(2, 9)) * 64, dims,
+                             static_cast<int>(rng.UniformInt(10, 1000))));
+  }
+  // 16 plain CNNs.
+  for (int i = 0; i < 16; ++i) {
+    CnnConfig cfg;
+    cfg.image_size = 32 << rng.UniformInt(0, 2);  // 32/64/128.
+    cfg.base_channels = 16 << rng.UniformInt(0, 2);
+    cfg.num_stages = static_cast<int>(rng.UniformInt(2, 4));
+    cfg.blocks_per_stage = static_cast<int>(rng.UniformInt(1, 3));
+    cfg.fc_dim = static_cast<int>(rng.UniformInt(4, 9)) * 64;
+    cfg.num_classes = static_cast<int>(rng.UniformInt(10, 1000));
+    corpus.push_back(MakeCnn(index_name("cnn", i), cfg));
+  }
+  // 14 ResNets.
+  for (int i = 0; i < 14; ++i) {
+    ResNetConfig cfg;
+    cfg.image_size = 64 << rng.UniformInt(0, 2);
+    cfg.base_channels = 16 << rng.UniformInt(0, 2);
+    cfg.num_stages = static_cast<int>(rng.UniformInt(2, 4));
+    cfg.blocks_per_stage = static_cast<int>(rng.UniformInt(1, 3));
+    cfg.num_classes = static_cast<int>(rng.UniformInt(10, 1000));
+    corpus.push_back(MakeResNet(index_name("resnet", i), cfg));
+  }
+  // 11 Inception-style models.
+  for (int i = 0; i < 11; ++i) {
+    InceptionConfig cfg;
+    cfg.image_size = 64 << rng.UniformInt(0, 2);
+    cfg.base_channels = 32 << rng.UniformInt(0, 2);
+    cfg.num_modules = static_cast<int>(rng.UniformInt(2, 6));
+    cfg.num_classes = static_cast<int>(rng.UniformInt(10, 1000));
+    corpus.push_back(MakeInception(index_name("inception", i), cfg));
+  }
+  // 12 RNNs.
+  for (int i = 0; i < 12; ++i) {
+    corpus.push_back(MakeRnn(index_name("rnn", i),
+                             static_cast<int>(rng.UniformInt(8, 40)),
+                             static_cast<int>(rng.UniformInt(1, 5)) * 64,
+                             static_cast<int>(rng.UniformInt(2, 9)) * 64,
+                             static_cast<int>(rng.UniformInt(10, 1000))));
+  }
+  // 10 LSTMs.
+  for (int i = 0; i < 10; ++i) {
+    corpus.push_back(MakeLstm(index_name("lstm", i),
+                              static_cast<int>(rng.UniformInt(4, 20)),
+                              static_cast<int>(rng.UniformInt(1, 5)) * 64,
+                              static_cast<int>(rng.UniformInt(2, 9)) * 64,
+                              static_cast<int>(rng.UniformInt(10, 1000))));
+  }
+  // 8 seq2seq models.
+  for (int i = 0; i < 8; ++i) {
+    corpus.push_back(MakeSeq2Seq(index_name("seq2seq", i),
+                                 static_cast<int>(rng.UniformInt(4, 12)),
+                                 static_cast<int>(rng.UniformInt(4, 12)),
+                                 static_cast<int>(rng.UniformInt(1, 5)) * 64,
+                                 static_cast<int>(rng.UniformInt(2, 9)) * 64,
+                                 static_cast<int>(rng.UniformInt(100, 2000))));
+  }
+  MCM_CHECK_EQ(corpus.size(), 87u);
+  return corpus;
+}
+
+DatasetSplit SplitCorpus(std::vector<Graph> corpus, std::uint64_t seed) {
+  MCM_CHECK_EQ(corpus.size(), 87u);
+  Rng rng(HashCombine(seed, 0x51ab7be5d2c3f4e6ULL));
+  std::vector<std::size_t> order(corpus.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  DatasetSplit split;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    Graph& g = corpus[order[rank]];
+    if (rank < 66) {
+      split.train.push_back(std::move(g));
+    } else if (rank < 71) {
+      split.validation.push_back(std::move(g));
+    } else {
+      split.test.push_back(std::move(g));
+    }
+  }
+  return split;
+}
+
+}  // namespace mcm

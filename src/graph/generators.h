@@ -1,0 +1,119 @@
+// Generators for production-style ML computation graphs.
+//
+// The paper pre-trains on 87 proprietary CNN/RNN/NLP graphs ("tens to
+// hundreds of nodes", no attention) and deploys on BERT (2138 nodes, ~340 M
+// parameters / ~600 MB).  These generators reproduce that corpus
+// synthetically: each family emits the op-level dataflow of a model class
+// with realistic FLOP / tensor-byte / parameter-byte annotations, and the
+// corpus builder reproduces the paper's 66/5/16 train/validation/test split.
+//
+// All generators are deterministic in their arguments (and seed, where one
+// is taken), so experiments are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mcm {
+
+// Bytes per value for activations and for weights.  Edge-TPU-style mixed
+// quantization: int8 activations, ~14-bit effective weight storage, matching
+// the paper's "340 M parameters (600 MB)" for BERT.
+inline constexpr double kActivationBytesPerValue = 1.0;
+inline constexpr double kWeightBytesPerValue = 1.76;
+
+// --- Feed-forward / vision families ---------------------------------------
+
+// Plain MLP: Input -> [MatMul, Add, Relu] x hidden_dims -> MatMul -> Softmax.
+Graph MakeMlp(const std::string& name, int input_dim,
+              const std::vector<int>& hidden_dims, int output_dim);
+
+// VGG-style convolutional chain: stages of [Conv, BatchNorm, Relu] blocks
+// followed by pooling, then an MLP head.
+struct CnnConfig {
+  int image_size = 224;
+  int in_channels = 3;
+  int base_channels = 32;
+  int num_stages = 4;
+  int blocks_per_stage = 2;
+  int fc_dim = 512;
+  int num_classes = 100;
+};
+Graph MakeCnn(const std::string& name, const CnnConfig& config);
+
+// ResNet-style model: stages of residual blocks (two conv-bn-relu branches
+// plus a skip Add), strided downsampling between stages.
+struct ResNetConfig {
+  int image_size = 224;
+  int base_channels = 32;
+  int num_stages = 3;
+  int blocks_per_stage = 2;
+  int num_classes = 100;
+};
+Graph MakeResNet(const std::string& name, const ResNetConfig& config);
+
+// Inception-style model: repeated modules of parallel 1x1/3x3/5x5/pool
+// branches merged by Concat.
+struct InceptionConfig {
+  int image_size = 224;
+  int base_channels = 32;
+  int num_modules = 4;
+  int num_classes = 100;
+};
+Graph MakeInception(const std::string& name, const InceptionConfig& config);
+
+// --- Recurrent families ----------------------------------------------------
+
+// Vanilla RNN unrolled over time: per step h = tanh(W x + U h + b).
+Graph MakeRnn(const std::string& name, int time_steps, int input_dim,
+              int hidden_dim, int output_dim);
+
+// LSTM unrolled over time (gates decomposed into matmul/add/sigmoid/tanh/mul
+// ops, ~12 nodes per step).
+Graph MakeLstm(const std::string& name, int time_steps, int input_dim,
+               int hidden_dim, int output_dim);
+
+// Attention-free seq2seq: LSTM encoder feeding an LSTM decoder through the
+// final hidden state, with a projection head per decoder step.
+Graph MakeSeq2Seq(const std::string& name, int encoder_steps,
+                  int decoder_steps, int input_dim, int hidden_dim,
+                  int vocab_dim);
+
+// --- Transformers (deployment target; absent from the corpus) --------------
+
+struct TransformerConfig {
+  int num_layers = 24;
+  int hidden_dim = 1024;
+  int num_heads = 16;
+  int ffn_dim = 4096;
+  int seq_len = 512;
+  int vocab_size = 30522;
+};
+
+// Transformer encoder with op-level attention decomposition.
+Graph MakeTransformerEncoder(const std::string& name,
+                             const TransformerConfig& config);
+
+// The paper's deployment workload: BERT with exactly 2138 nodes and ~340 M
+// parameters (~600 MB at the mixed quantization above).
+Graph MakeBert();
+
+// --- Corpus ----------------------------------------------------------------
+
+// The synthetic stand-in for the paper's 87 production graphs: a seeded mix
+// of MLP / CNN / ResNet / Inception / RNN / LSTM / seq2seq models with tens
+// to hundreds of nodes each and no attention.
+std::vector<Graph> MakeCorpus(std::uint64_t seed = 87);
+
+// The paper's random split of the corpus: 66 train / 5 validation / 16 test.
+struct DatasetSplit {
+  std::vector<Graph> train;
+  std::vector<Graph> validation;
+  std::vector<Graph> test;
+};
+DatasetSplit SplitCorpus(std::vector<Graph> corpus, std::uint64_t seed = 87);
+
+}  // namespace mcm

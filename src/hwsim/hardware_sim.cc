@@ -1,0 +1,222 @@
+#include "hwsim/hardware_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mcm {
+namespace {
+
+// Deterministic measurement noise for a (graph, partition) pair: the same
+// candidate always "measures" the same runtime, but near-identical
+// candidates measure slightly differently -- like repeated runs on a real
+// but deterministic-enough system.
+double NoiseFactor(const Graph& graph, const Partition& partition,
+                   double stddev, std::uint64_t seed) {
+  if (stddev <= 0.0) return 1.0;
+  std::uint64_t h = HashCombine(seed, static_cast<std::uint64_t>(
+                                          graph.NumNodes()));
+  for (std::size_t i = 0; i < partition.assignment.size(); ++i) {
+    h = HashCombine(h, static_cast<std::uint64_t>(
+                           partition.assignment[i] + 1) *
+                           0x9e3779b97f4a7c15ULL +
+                           i);
+  }
+  Rng rng(h);
+  return std::exp(stddev * rng.Normal());
+}
+
+}  // namespace
+
+HardwareSim::Report HardwareSim::Simulate(const Graph& graph,
+                                          const Partition& partition) const {
+  Report report;
+  report.statically_valid = IsStaticallyValid(graph, partition);
+  if (!report.statically_valid) return report;
+
+  const McmConfig& mcm = options_.mcm;
+  const int num_chips = partition.num_chips;
+  report.chips.assign(static_cast<std::size_t>(num_chips), ChipReport{});
+  report.link_bytes.assign(
+      num_chips > 0 ? static_cast<std::size_t>(num_chips - 1) : 0, 0.0);
+
+  // ---- Per-chip local schedules (global topological order restricted to
+  // each chip), used for both the memory model and compute accounting.
+  const std::vector<int> topo = graph.TopologicalOrder();
+  std::vector<std::vector<int>> schedule(static_cast<std::size_t>(num_chips));
+  // Position of each node within its chip's schedule.
+  std::vector<int> local_pos(static_cast<std::size_t>(graph.NumNodes()), -1);
+  for (int u : topo) {
+    const int chip = partition.chip(u);
+    local_pos[static_cast<std::size_t>(u)] =
+        static_cast<int>(schedule[static_cast<std::size_t>(chip)].size());
+    schedule[static_cast<std::size_t>(chip)].push_back(u);
+  }
+
+  // ---- Memory model: on each chip, an output buffer is live from its
+  // producer's schedule slot until its last local consumer has run; a
+  // buffer with remote consumers additionally stays live one slot past the
+  // producer (egress staging).  Remote inputs are staged on the consumer
+  // chip from slot 0 of the consumer (conservative: the transfer may arrive
+  // any time before it is needed) until its last local consumer.
+  for (int chip = 0; chip < num_chips; ++chip) {
+    const auto& nodes = schedule[static_cast<std::size_t>(chip)];
+    ChipReport& chip_report = report.chips[static_cast<std::size_t>(chip)];
+    chip_report.num_nodes = static_cast<int>(nodes.size());
+    if (nodes.empty()) continue;
+    const int slots = static_cast<int>(nodes.size());
+    // alloc_delta[s] accumulates byte deltas applied entering slot s.
+    std::vector<double> alloc_delta(static_cast<std::size_t>(slots) + 1, 0.0);
+
+    for (int s = 0; s < slots; ++s) {
+      const Node& node = graph.node(nodes[static_cast<std::size_t>(s)]);
+      chip_report.param_bytes += node.param_bytes;
+
+      // The node's own output buffer.
+      int last_use = s;  // At minimum live during its own slot.
+      bool has_remote_consumer = false;
+      for (int succ : graph.Successors(node.id)) {
+        if (partition.chip(succ) == chip) {
+          last_use = std::max(last_use,
+                              local_pos[static_cast<std::size_t>(succ)]);
+        } else {
+          has_remote_consumer = true;
+        }
+      }
+      if (has_remote_consumer) last_use = std::max(last_use, s + 1);
+      alloc_delta[static_cast<std::size_t>(s)] += node.output_bytes;
+      const int free_slot = std::min(last_use + 1, slots);
+      alloc_delta[static_cast<std::size_t>(free_slot)] -= node.output_bytes;
+
+      // Ingress buffers for remote predecessors (counted once per remote
+      // producer: the staged copy serves all local consumers).
+      for (int pred : graph.Predecessors(node.id)) {
+        const int pred_chip = partition.chip(pred);
+        if (pred_chip == chip) continue;
+        // Attribute the staged buffer at the first local consumer of pred.
+        bool first_local_consumer = true;
+        for (int sibling : graph.Successors(pred)) {
+          if (partition.chip(sibling) == chip &&
+              local_pos[static_cast<std::size_t>(sibling)] <
+                  local_pos[static_cast<std::size_t>(node.id)]) {
+            first_local_consumer = false;
+            break;
+          }
+        }
+        if (!first_local_consumer) continue;
+        int last_local = s;
+        for (int sibling : graph.Successors(pred)) {
+          if (partition.chip(sibling) == chip) {
+            last_local = std::max(
+                last_local, local_pos[static_cast<std::size_t>(sibling)]);
+          }
+        }
+        const Node& producer = graph.node(pred);
+        alloc_delta[0] += producer.output_bytes;
+        const int ingress_free = std::min(last_local + 1, slots);
+        alloc_delta[static_cast<std::size_t>(ingress_free)] -=
+            producer.output_bytes;
+      }
+    }
+    double live = chip_report.param_bytes;
+    double peak = live;
+    for (int s = 0; s < slots; ++s) {
+      live += alloc_delta[static_cast<std::size_t>(s)];
+      peak = std::max(peak, live);
+    }
+    chip_report.peak_memory_bytes = peak;
+    if (peak > mcm.sram_bytes_per_chip && !report.oom) {
+      report.oom = true;
+      report.first_oom_chip = chip;
+    }
+  }
+  if (report.oom) return report;
+
+  // ---- Performance model.
+  // Compute: roofline-style utilization from arithmetic intensity.
+  const double knee = options_.intensity_knee_flops_per_byte;
+  for (int chip = 0; chip < num_chips; ++chip) {
+    ChipReport& chip_report = report.chips[static_cast<std::size_t>(chip)];
+    for (int u : schedule[static_cast<std::size_t>(chip)]) {
+      const Node& node = graph.node(u);
+      if (node.compute_flops <= 0.0) continue;
+      double moved_bytes = node.output_bytes;
+      for (int pred : graph.Predecessors(u)) {
+        moved_bytes += graph.node(pred).output_bytes;
+      }
+      const double intensity =
+          node.compute_flops / std::max(moved_bytes, 1.0);
+      const double utilization =
+          mcm.effective_utilization * intensity / (intensity + knee);
+      chip_report.compute_s +=
+          node.compute_flops / (mcm.chip_flops_per_s * utilization);
+    }
+    // Memory-pressure spill penalty near the SRAM limit.
+    const double usage =
+        chip_report.peak_memory_bytes / mcm.sram_bytes_per_chip;
+    if (usage > options_.mem_pressure_threshold) {
+      const double over = (usage - options_.mem_pressure_threshold) /
+                          (1.0 - options_.mem_pressure_threshold);
+      chip_report.compute_s *= 1.0 + options_.mem_pressure_penalty * over;
+    }
+  }
+
+  // Transfers: one per (producer, remote consumer chip); endpoint time on
+  // both chips plus occupancy of every ring link along the route.
+  for (const Node& node : graph.nodes()) {
+    const int src_chip = partition.chip(node.id);
+    std::uint64_t remote = 0;
+    for (int succ : graph.Successors(node.id)) {
+      const int dst_chip = partition.chip(succ);
+      if (dst_chip != src_chip) remote |= 1ULL << dst_chip;
+    }
+    while (remote != 0) {
+      const int dst_chip = __builtin_ctzll(remote);
+      remote &= remote - 1;
+      const double wire_s =
+          node.output_bytes / mcm.link_bandwidth_bytes_per_s +
+          mcm.link_latency_s;
+      report.chips[static_cast<std::size_t>(src_chip)].transfer_s += wire_s;
+      report.chips[static_cast<std::size_t>(dst_chip)].transfer_s += wire_s;
+      for (int link = src_chip; link < dst_chip; ++link) {
+        report.link_bytes[static_cast<std::size_t>(link)] += node.output_bytes;
+      }
+    }
+  }
+
+  // Steady-state pipeline interval: the slowest chip or the most congested
+  // ring link.  Latency is the pipeline fill: the sum of stage times.
+  double bottleneck = 0.0;
+  double fill = 0.0;
+  for (const ChipReport& chip_report : report.chips) {
+    bottleneck = std::max(bottleneck,
+                          chip_report.compute_s + chip_report.transfer_s);
+    fill += chip_report.compute_s + chip_report.transfer_s;
+  }
+  for (double bytes : report.link_bytes) {
+    const double link_s = bytes / mcm.link_bandwidth_bytes_per_s;
+    report.bottleneck_link_s = std::max(report.bottleneck_link_s, link_s);
+  }
+  bottleneck = std::max(bottleneck, report.bottleneck_link_s);
+
+  const double noise = NoiseFactor(graph, partition, options_.noise_stddev,
+                                   options_.noise_seed);
+  report.runtime_s = bottleneck * noise;
+  report.latency_s = fill * noise;
+  return report;
+}
+
+EvalResult HardwareSim::Evaluate(const Graph& graph,
+                                 const Partition& partition) {
+  const Report report = Simulate(graph, partition);
+  if (!report.statically_valid) {
+    return EvalResult::Invalid(EvalFailure::kStaticConstraint);
+  }
+  if (report.oom) return EvalResult::Invalid(EvalFailure::kOutOfMemory);
+  return EvalResult::Valid(report.runtime_s, report.latency_s);
+}
+
+}  // namespace mcm

@@ -1,0 +1,88 @@
+// Simulated multi-chip TPU package: the reproduction's stand-in for the
+// paper's real 36-die hardware.
+//
+// The simulator exercises every behaviour the paper needs from hardware:
+//
+//  * Dynamic constraint H(G, f): each chiplet has a fixed SRAM budget that
+//    must hold resident weights plus peak live activations under the chip's
+//    local schedule.  Exceeding it is an out-of-memory failure -- a
+//    partition that passed all static constraints can still be invalid,
+//    exactly the ~13.5% hardware-invalid rate of Figure 7.
+//
+//  * A richer performance model than the analytical one: per-op achievable
+//    utilization depends on arithmetic intensity, cross-chip transfers pay
+//    a fixed per-transfer overhead, multi-hop transfers occupy every ring
+//    link they traverse (the analytical model only counts endpoint bytes),
+//    and chips near their memory limit pay a spill penalty.  This produces
+//    the strong-but-imperfect correlation with the analytical model
+//    (Pearson ~0.9) that the paper's calibration study reports.
+//
+//  * Deterministic "measurement" noise keyed on (graph, partition), so the
+//    same partition always measures the same but distinct partitions with
+//    equal analytical cost measure differently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+#include "graph/graph.h"
+#include "partition/partition.h"
+
+namespace mcm {
+
+class HardwareSim final : public CostModel {
+ public:
+  struct Options {
+    McmConfig mcm;
+    // Multiplicative measurement noise (lognormal sigma); 0 disables.
+    double noise_stddev = 0.03;
+    // Memory-pressure spill model: above `threshold` x SRAM the chip's
+    // compute time scales by up to 1 + `penalty` at 100% usage.
+    double mem_pressure_threshold = 0.80;
+    double mem_pressure_penalty = 1.5;
+    // Arithmetic-intensity roofline knee (flops per byte moved): ops below
+    // the knee are bandwidth-bound and reach proportionally lower compute
+    // utilization.  The analytical model assumes a flat utilization, which
+    // is the main source of its prediction error.
+    double intensity_knee_flops_per_byte = 16.0;
+    std::uint64_t noise_seed = 0x8c5f1d3a2e94b7c6ULL;
+  };
+
+  HardwareSim() : HardwareSim(Options{}) {}
+  explicit HardwareSim(Options options) : options_(options) {}
+
+  // Detailed simulation outcome, exposed for tests, examples, and the
+  // calibration bench.
+  struct ChipReport {
+    double compute_s = 0.0;        // Compute incl. utilization effects.
+    double transfer_s = 0.0;       // Endpoint (ingress+egress) time.
+    double peak_memory_bytes = 0.0;
+    double param_bytes = 0.0;
+    int num_nodes = 0;
+  };
+  struct Report {
+    bool statically_valid = false;
+    bool oom = false;
+    int first_oom_chip = -1;
+    double runtime_s = 0.0;  // Bottleneck interval including noise.
+    double latency_s = 0.0;  // End-to-end pipeline fill including noise.
+    double bottleneck_link_s = 0.0;
+    std::vector<ChipReport> chips;
+    std::vector<double> link_bytes;  // Traffic per ring link d -> d+1.
+  };
+
+  Report Simulate(const Graph& graph, const Partition& partition) const;
+
+  // CostModel interface: wraps Simulate into valid/invalid + throughput.
+  EvalResult Evaluate(const Graph& graph, const Partition& partition) override;
+  std::string name() const override { return "hwsim"; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  const Options options_;
+};
+
+}  // namespace mcm

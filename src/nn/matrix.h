@@ -1,0 +1,59 @@
+// Dense row-major float matrix and the handful of kernels the GNN needs.
+//
+// Shapes in this library are small (node-feature and hidden dimensions of
+// 29..128 over at most a few thousand graph nodes), so a cache-blocked
+// single-threaded GEMM is entirely adequate -- no BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mcm {
+
+struct Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;  // Row-major, size rows*cols.
+
+  Matrix() = default;
+  Matrix(int r, int c) : rows(r), cols(c), data(static_cast<std::size_t>(r) * c, 0.0f) {}
+
+  float& at(int r, int c) { return data[static_cast<std::size_t>(r) * cols + c]; }
+  float at(int r, int c) const {
+    return data[static_cast<std::size_t>(r) * cols + c];
+  }
+  std::span<float> row(int r) {
+    return std::span<float>(data).subspan(static_cast<std::size_t>(r) * cols,
+                                          static_cast<std::size_t>(cols));
+  }
+  std::span<const float> row(int r) const {
+    return std::span<const float>(data).subspan(
+        static_cast<std::size_t>(r) * cols, static_cast<std::size_t>(cols));
+  }
+  void Zero() { std::fill(data.begin(), data.end(), 0.0f); }
+  bool SameShape(const Matrix& other) const {
+    return rows == other.rows && cols == other.cols;
+  }
+};
+
+// out = a * b.  Shapes: [m x k] * [k x n] -> [m x n].  `accumulate` adds
+// into `out` instead of overwriting (used by backward passes).
+void MatMul(const Matrix& a, const Matrix& b, Matrix& out,
+            bool accumulate = false);
+
+// out = a^T * b.  Shapes: [k x m]^T * [k x n] -> [m x n].
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix& out,
+                  bool accumulate = false);
+
+// out = a * b^T.  Shapes: [m x k] * [n x k]^T -> [m x n].
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix& out,
+                  bool accumulate = false);
+
+// Gaussian init scaled by sqrt(2 / fan_in) (He) or Xavier-uniform.
+void InitHe(Matrix& m, int fan_in, Rng& rng);
+void InitXavier(Matrix& m, int fan_in, int fan_out, Rng& rng);
+
+}  // namespace mcm

@@ -1,0 +1,135 @@
+#include "partition/heuristics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mcm {
+namespace {
+
+// Assigns `order` to chips by interval cut points: nodes order[cuts[d-1]..
+// cuts[d]) go to chip d.
+Partition FromCuts(const Graph& graph, int num_chips,
+                   const std::vector<int>& order,
+                   const std::vector<int>& cuts) {
+  Partition partition = Partition::Empty(graph.NumNodes(), num_chips);
+  int begin = 0;
+  for (std::size_t d = 0; d < cuts.size(); ++d) {
+    for (int i = begin; i < cuts[d]; ++i) {
+      partition.assignment[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+          static_cast<int>(d);
+    }
+    begin = cuts[d];
+  }
+  return partition;
+}
+
+}  // namespace
+
+Partition GreedyContiguousByCount(const Graph& graph, int num_chips) {
+  MCM_CHECK_GT(num_chips, 0);
+  const int n = graph.NumNodes();
+  const int chips = std::min(num_chips, std::max(n, 1));
+  const std::vector<int> order = graph.TopologicalOrder();
+  std::vector<int> cuts;
+  cuts.reserve(static_cast<std::size_t>(chips));
+  for (int d = 1; d <= chips; ++d) {
+    cuts.push_back(static_cast<int>(
+        (static_cast<long long>(n) * d) / chips));
+  }
+  return FromCuts(graph, num_chips, order, cuts);
+}
+
+Partition GreedyContiguousByCost(const Graph& graph, int num_chips) {
+  MCM_CHECK_GT(num_chips, 0);
+  const int n = graph.NumNodes();
+  const int chips = std::min(num_chips, std::max(n, 1));
+  const std::vector<int> order = graph.TopologicalOrder();
+  Partition partition = Partition::Empty(n, num_chips);
+
+  double remaining = graph.TotalFlops();
+  int chip = 0;
+  double chip_load = 0.0;
+  int chip_nodes = 0;
+  for (int i = 0; i < n; ++i) {
+    const Node& node = graph.node(order[static_cast<std::size_t>(i)]);
+    const int chips_left = chips - chip;
+    const double target = remaining / chips_left;
+    // Advance once this chip has its fair share -- but never leave a later
+    // chip without nodes (at least one node per remaining chip), and always
+    // place at least one node per chip.
+    const int nodes_left = n - i;
+    if (chip_nodes > 0 && chip < chips - 1 &&
+        (chip_load >= target || nodes_left <= chips - chip - 1)) {
+      ++chip;
+      chip_load = 0.0;
+      chip_nodes = 0;
+    }
+    partition.assignment[static_cast<std::size_t>(node.id)] = chip;
+    chip_load += node.compute_flops;
+    remaining -= node.compute_flops;
+    ++chip_nodes;
+  }
+  return partition;
+}
+
+namespace {
+
+// Shared greedy sweep over a topological order balancing `weight`.
+Partition GreedySweep(const Graph& graph, int num_chips,
+                      double (*weight)(const Node&)) {
+  const int n = graph.NumNodes();
+  const int chips = std::min(num_chips, std::max(n, 1));
+  const std::vector<int> order = graph.TopologicalOrder();
+  Partition partition = Partition::Empty(n, num_chips);
+
+  double remaining = 0.0;
+  for (const Node& node : graph.nodes()) remaining += weight(node);
+  int chip = 0;
+  double chip_load = 0.0;
+  int chip_nodes = 0;
+  for (int i = 0; i < n; ++i) {
+    const Node& node = graph.node(order[static_cast<std::size_t>(i)]);
+    const int chips_left = chips - chip;
+    const double target = remaining / chips_left;
+    const int nodes_left = n - i;
+    if (chip_nodes > 0 && chip < chips - 1 &&
+        (chip_load >= target || nodes_left <= chips - chip - 1)) {
+      ++chip;
+      chip_load = 0.0;
+      chip_nodes = 0;
+    }
+    partition.assignment[static_cast<std::size_t>(node.id)] = chip;
+    chip_load += weight(node);
+    remaining -= weight(node);
+    ++chip_nodes;
+  }
+  return partition;
+}
+
+}  // namespace
+
+Partition GreedyContiguousByParams(const Graph& graph, int num_chips) {
+  MCM_CHECK_GT(num_chips, 0);
+  return GreedySweep(graph, num_chips,
+                     [](const Node& node) { return node.param_bytes; });
+}
+
+Partition RandomContiguousPartition(const Graph& graph, int num_chips,
+                                    Rng& rng) {
+  MCM_CHECK_GT(num_chips, 0);
+  const int n = graph.NumNodes();
+  const int max_chips = std::min(num_chips, std::max(n, 1));
+  const int k = static_cast<int>(rng.UniformInt(1, max_chips));
+  const std::vector<int> order = graph.TopologicalOrder();
+  // k-1 distinct interior cut points, plus the final cut at n.
+  std::vector<int> interior(static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) interior[static_cast<std::size_t>(i)] = i + 1;
+  rng.Shuffle(interior);
+  std::vector<int> cuts(interior.begin(), interior.begin() + (k - 1));
+  cuts.push_back(n);
+  std::sort(cuts.begin(), cuts.end());
+  return FromCuts(graph, num_chips, order, cuts);
+}
+
+}  // namespace mcm

@@ -1,0 +1,45 @@
+// O(N) compiler-heuristic partitioners.
+//
+// These are the paper's "compiler heuristics, such as a greedy algorithm and
+// a random partition": fast, single-pass baselines that the learned and
+// search-based methods are normalized against (Figures 5 and 6 report
+// *throughput improvement over a compiler heuristic*).
+//
+// The heuristics emit topologically-contiguous interval candidates, which
+// satisfy the acyclic-dataflow and no-skip constraints by construction but
+// may still violate the NoC triangle constraint (e.g. a residual edge that
+// spans a whole chip interval); callers repair candidates with the
+// constraint solver's FIX mode, exactly as the paper's pipeline repairs RL
+// proposals.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "partition/partition.h"
+
+namespace mcm {
+
+// Splits a topological order into `num_chips` intervals with equal *node
+// counts* (the naive production baseline: it ignores per-op cost entirely).
+// Uses min(num_chips, N) chips.
+Partition GreedyContiguousByCount(const Graph& graph, int num_chips);
+
+// Splits a topological order into intervals of roughly equal *compute
+// FLOPs* (greedy sweep: advance to the next chip once the running interval
+// reaches the remaining-average load).  A stronger heuristic used in
+// ablations.
+Partition GreedyContiguousByCost(const Graph& graph, int num_chips);
+
+// Splits a topological order into intervals of roughly equal *parameter
+// bytes* (the production-compiler-style greedy: SRAM capacity is the
+// binding constraint on MCM chiplets, so the packer balances weight
+// footprint and is blind to compute -- the paper's baseline behaves this
+// way).  Nodes without parameters share the interval of their neighbors.
+Partition GreedyContiguousByParams(const Graph& graph, int num_chips);
+
+// Random contiguous partition: K ~ U[1, min(num_chips, N)] intervals with
+// uniformly random cut points over a topological order.
+Partition RandomContiguousPartition(const Graph& graph, int num_chips,
+                                    Rng& rng);
+
+}  // namespace mcm

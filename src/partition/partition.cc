@@ -1,0 +1,244 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace mcm {
+
+bool Partition::Complete() const {
+  for (int chip : assignment) {
+    if (chip < 0 || chip >= num_chips) return false;
+  }
+  return true;
+}
+
+int Partition::NumChipsUsed() const {
+  int max_chip = -1;
+  for (int chip : assignment) max_chip = std::max(max_chip, chip);
+  return max_chip + 1;
+}
+
+std::string_view ViolationName(Violation violation) {
+  switch (violation) {
+    case Violation::kNone: return "none";
+    case Violation::kIncomplete: return "incomplete";
+    case Violation::kAcyclicDataflow: return "acyclic-dataflow";
+    case Violation::kSkippedChip: return "skipped-chip";
+    case Violation::kTriangle: return "triangle-dependency";
+  }
+  return "?";
+}
+
+bool CheckAcyclicDataflow(const Graph& graph, const Partition& partition) {
+  for (const Edge& e : graph.edges()) {
+    if (partition.chip(e.src) > partition.chip(e.dst)) return false;
+  }
+  return true;
+}
+
+bool CheckNoSkippedChips(const Graph& graph, const Partition& partition) {
+  (void)graph;
+  std::vector<bool> used(static_cast<std::size_t>(partition.num_chips), false);
+  int max_chip = -1;
+  for (int chip : partition.assignment) {
+    used[static_cast<std::size_t>(chip)] = true;
+    max_chip = std::max(max_chip, chip);
+  }
+  for (int d = 0; d < max_chip; ++d) {
+    if (!used[static_cast<std::size_t>(d)]) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> ChipDependencyAdjacency(
+    const Graph& graph, const Partition& partition) {
+  MCM_CHECK_LE(partition.num_chips, kMaxChips);
+  std::vector<std::uint64_t> adjacency(
+      static_cast<std::size_t>(partition.num_chips), 0);
+  for (const Edge& e : graph.edges()) {
+    const int a = partition.chip(e.src);
+    const int b = partition.chip(e.dst);
+    if (a < 0 || b < 0 || a == b) continue;
+    adjacency[static_cast<std::size_t>(a)] |= 1ULL << b;
+  }
+  return adjacency;
+}
+
+std::vector<std::vector<int>> ChipLongestPaths(
+    const std::vector<std::uint64_t>& adjacency, int num_chips) {
+  // With monotone partitions every chip edge goes low -> high, so processing
+  // intermediate chips in decreasing order is a valid reverse-topological
+  // sweep: longest(a, b) = 1 + max over successors s of a of longest(s, b).
+  std::vector<std::vector<int>> delta(
+      static_cast<std::size_t>(num_chips),
+      std::vector<int>(static_cast<std::size_t>(num_chips), -1));
+  for (int a = num_chips - 1; a >= 0; --a) {
+    for (int s = a + 1; s < num_chips; ++s) {
+      if (!(adjacency[static_cast<std::size_t>(a)] & (1ULL << s))) continue;
+      auto& row = delta[static_cast<std::size_t>(a)];
+      const auto& succ_row = delta[static_cast<std::size_t>(s)];
+      row[static_cast<std::size_t>(s)] = std::max(row[static_cast<std::size_t>(s)], 1);
+      for (int b = s + 1; b < num_chips; ++b) {
+        if (succ_row[static_cast<std::size_t>(b)] >= 0) {
+          row[static_cast<std::size_t>(b)] =
+              std::max(row[static_cast<std::size_t>(b)],
+                       1 + succ_row[static_cast<std::size_t>(b)]);
+        }
+      }
+    }
+  }
+  return delta;
+}
+
+bool CheckTriangleDependency(const Graph& graph, const Partition& partition) {
+  const auto adjacency = ChipDependencyAdjacency(graph, partition);
+  const auto delta = ChipLongestPaths(adjacency, partition.num_chips);
+  // Every direct chip dependency must have longest path exactly 1.
+  for (int a = 0; a < partition.num_chips; ++a) {
+    std::uint64_t row = adjacency[static_cast<std::size_t>(a)];
+    while (row != 0) {
+      const int b = __builtin_ctzll(row);
+      row &= row - 1;
+      if (delta[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] != 1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Violation ValidateStatic(const Graph& graph, const Partition& partition) {
+  MCM_CHECK_EQ(static_cast<int>(partition.assignment.size()),
+               graph.NumNodes());
+  if (!partition.Complete()) return Violation::kIncomplete;
+  if (!CheckAcyclicDataflow(graph, partition)) {
+    return Violation::kAcyclicDataflow;
+  }
+  if (!CheckNoSkippedChips(graph, partition)) return Violation::kSkippedChip;
+  if (!CheckTriangleDependency(graph, partition)) return Violation::kTriangle;
+  return Violation::kNone;
+}
+
+std::vector<ChipLoad> ComputeChipLoads(const Graph& graph,
+                                       const Partition& partition) {
+  std::vector<ChipLoad> loads(static_cast<std::size_t>(partition.num_chips));
+  for (const Node& node : graph.nodes()) {
+    const int chip = partition.chip(node.id);
+    if (chip < 0) continue;
+    ChipLoad& load = loads[static_cast<std::size_t>(chip)];
+    load.compute_flops += node.compute_flops;
+    load.param_bytes += node.param_bytes;
+    load.num_nodes += 1;
+  }
+  // Cross-chip traffic: one transfer per (producer, remote consumer chip).
+  for (const Node& node : graph.nodes()) {
+    const int src_chip = partition.chip(node.id);
+    if (src_chip < 0) continue;
+    std::uint64_t remote_chips = 0;
+    for (int succ : graph.Successors(node.id)) {
+      const int dst_chip = partition.chip(succ);
+      if (dst_chip >= 0 && dst_chip != src_chip) {
+        remote_chips |= 1ULL << dst_chip;
+      }
+    }
+    while (remote_chips != 0) {
+      const int dst_chip = __builtin_ctzll(remote_chips);
+      remote_chips &= remote_chips - 1;
+      loads[static_cast<std::size_t>(src_chip)].bytes_out += node.output_bytes;
+      loads[static_cast<std::size_t>(dst_chip)].bytes_in += node.output_bytes;
+    }
+  }
+  return loads;
+}
+
+PartitionMetrics ComputePartitionMetrics(const Graph& graph,
+                                         const Partition& partition) {
+  const auto loads = ComputeChipLoads(graph, partition);
+  PartitionMetrics metrics;
+  double total_flops = 0.0;
+  for (const ChipLoad& load : loads) {
+    if (load.num_nodes == 0) continue;
+    ++metrics.chips_used;
+    total_flops += load.compute_flops;
+    metrics.max_chip_flops = std::max(metrics.max_chip_flops,
+                                      load.compute_flops);
+    metrics.total_cut_bytes += load.bytes_out;
+  }
+  if (metrics.chips_used > 0) {
+    metrics.mean_chip_flops = total_flops / metrics.chips_used;
+  }
+  if (metrics.mean_chip_flops > 0.0) {
+    metrics.compute_imbalance =
+        metrics.max_chip_flops / metrics.mean_chip_flops;
+  }
+  for (const Edge& e : graph.edges()) {
+    if (partition.chip(e.src) != partition.chip(e.dst)) ++metrics.cut_edges;
+  }
+  return metrics;
+}
+
+std::string DescribePartition(const Graph& graph,
+                              const Partition& partition) {
+  std::ostringstream os;
+  const Violation violation = ValidateStatic(graph, partition);
+  os << "partition of '" << graph.name() << "' (" << graph.NumNodes()
+     << " nodes) over " << partition.num_chips << " chips\n";
+  os << "static validity: " << ViolationName(violation) << "\n";
+  const PartitionMetrics metrics = ComputePartitionMetrics(graph, partition);
+  os << "chips used: " << metrics.chips_used
+     << ", compute imbalance: " << metrics.compute_imbalance
+     << "x, cut edges: " << metrics.cut_edges << " ("
+     << metrics.total_cut_bytes / 1e6 << " MB)\n";
+  os << "chip  nodes     GFLOPs  weightMB    in-MB   out-MB\n";
+  const auto loads = ComputeChipLoads(graph, partition);
+  for (int chip = 0; chip < partition.num_chips; ++chip) {
+    const ChipLoad& load = loads[static_cast<std::size_t>(chip)];
+    if (load.num_nodes == 0) continue;
+    char line[128];
+    std::snprintf(line, sizeof(line), "%4d  %5d  %9.3f  %8.2f  %7.2f  %7.2f\n",
+                  chip, load.num_nodes, load.compute_flops / 1e9,
+                  load.param_bytes / 1e6, load.bytes_in / 1e6,
+                  load.bytes_out / 1e6);
+    os << line;
+  }
+  return os.str();
+}
+
+void SavePartition(const Partition& partition, std::ostream& os) {
+  os << "mcm-partition-v1 " << partition.assignment.size() << " "
+     << partition.num_chips << "\n";
+  for (std::size_t u = 0; u < partition.assignment.size(); ++u) {
+    os << u << " " << partition.assignment[u] << "\n";
+  }
+}
+
+Partition LoadPartition(int num_nodes, int num_chips, std::istream& is) {
+  std::string magic;
+  std::size_t count = 0;
+  int chips = 0;
+  is >> magic >> count >> chips;
+  if (magic != "mcm-partition-v1" ||
+      count != static_cast<std::size_t>(num_nodes) || chips != num_chips) {
+    throw std::runtime_error("LoadPartition: header mismatch");
+  }
+  Partition partition = Partition::Empty(num_nodes, num_chips);
+  for (int k = 0; k < num_nodes; ++k) {
+    int node = -1, chip = -1;
+    if (!(is >> node >> chip) || node < 0 || node >= num_nodes || chip < 0 ||
+        chip >= num_chips) {
+      throw std::runtime_error("LoadPartition: bad record");
+    }
+    partition.assignment[static_cast<std::size_t>(node)] = chip;
+  }
+  if (!partition.Complete()) {
+    throw std::runtime_error("LoadPartition: nodes missing an assignment");
+  }
+  return partition;
+}
+
+}  // namespace mcm

@@ -1,0 +1,122 @@
+// Partition types and validation of the paper's static MCM constraints.
+//
+// A partition is the mapping f : V -> D of Section 3.  Validity against the
+// hardware requires (Equation 5):
+//   (2) acyclic dataflow:   f(u) <= f(v) for every edge (u, v)     [1D ring]
+//   (3) no skipping chips:  used chips form a prefix {0..K-1}
+//   (4) chip triangle:      a direct inter-chip dependency (a, b) cannot
+//                           coexist with an indirect chip path a ~> b
+// plus the dynamic constraint H(G, f) that only the compiler backend /
+// hardware (here: hwsim) can evaluate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mcm {
+
+// Maximum chips representable by the solver's 64-bit domain bitsets; the
+// paper's package has 36.
+inline constexpr int kMaxChips = 64;
+
+// A (possibly invalid) chip assignment for every node of a graph.
+struct Partition {
+  // assignment[node] in [0, num_chips), or -1 for "unassigned".
+  std::vector<int> assignment;
+  int num_chips = 0;
+
+  static Partition Empty(int num_nodes, int num_chips) {
+    Partition p;
+    p.assignment.assign(static_cast<std::size_t>(num_nodes), -1);
+    p.num_chips = num_chips;
+    return p;
+  }
+
+  int chip(int node) const {
+    return assignment[static_cast<std::size_t>(node)];
+  }
+  bool Complete() const;
+  // Highest chip id in use plus one (0 when nothing is assigned).
+  int NumChipsUsed() const;
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+};
+
+// Which constraint a partition violates (kNone == statically valid).
+enum class Violation {
+  kNone = 0,
+  kIncomplete,       // Some node unassigned or chip id out of range.
+  kAcyclicDataflow,  // Equation (2).
+  kSkippedChip,      // Equation (3).
+  kTriangle,         // Equation (4).
+};
+
+std::string_view ViolationName(Violation violation);
+
+// Individual constraint checks.  All require a complete partition.
+bool CheckAcyclicDataflow(const Graph& graph, const Partition& partition);
+bool CheckNoSkippedChips(const Graph& graph, const Partition& partition);
+bool CheckTriangleDependency(const Graph& graph, const Partition& partition);
+
+// Full static validation; returns the first violated constraint.
+Violation ValidateStatic(const Graph& graph, const Partition& partition);
+inline bool IsStaticallyValid(const Graph& graph, const Partition& p) {
+  return ValidateStatic(graph, p) == Violation::kNone;
+}
+
+// The chip-level dependency graph: adjacency[a] is the bitset of chips b
+// with a direct dependency a -> b induced by some cross-chip edge.
+// Unassigned nodes are ignored, so this is usable mid-construction.
+std::vector<std::uint64_t> ChipDependencyAdjacency(const Graph& graph,
+                                                   const Partition& partition);
+
+// Longest path lengths (in edges) between all chip pairs of the chip
+// dependency graph; delta[a][b] < 0 means unreachable.  This is the paper's
+// \delta(d0, d1).  Requires the chip graph to be acyclic, which Eq. (2)
+// guarantees for monotone partitions.
+std::vector<std::vector<int>> ChipLongestPaths(
+    const std::vector<std::uint64_t>& adjacency, int num_chips);
+
+// Resource usage per chip under a partition.
+struct ChipLoad {
+  double compute_flops = 0.0;
+  double param_bytes = 0.0;
+  // Bytes entering/leaving the chip over cross-chip edges.  An output tensor
+  // consumed by k distinct remote chips is sent k times (the ring has no
+  // multicast).
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+  int num_nodes = 0;
+};
+
+std::vector<ChipLoad> ComputeChipLoads(const Graph& graph,
+                                       const Partition& partition);
+
+// Summary metrics for reporting and for shaping heuristics.
+struct PartitionMetrics {
+  int chips_used = 0;
+  double max_chip_flops = 0.0;
+  double mean_chip_flops = 0.0;
+  double compute_imbalance = 0.0;  // max/mean over *used* chips; >= 1.
+  double total_cut_bytes = 0.0;    // Sum of bytes crossing chips.
+  int cut_edges = 0;
+};
+
+PartitionMetrics ComputePartitionMetrics(const Graph& graph,
+                                         const Partition& partition);
+
+// Human-readable multi-line report of a partition: validity, summary
+// metrics, and a per-chip table (nodes, GFLOPs, weight MB, cut traffic).
+// Used by the CLI and examples.
+std::string DescribePartition(const Graph& graph, const Partition& partition);
+
+// Plain-text persistence of an assignment ("node chip" lines).  Load
+// validates node coverage and chip range; throws std::runtime_error.
+void SavePartition(const Partition& partition, std::ostream& os);
+Partition LoadPartition(int num_nodes, int num_chips, std::istream& is);
+
+}  // namespace mcm

@@ -1,0 +1,187 @@
+#include "pipeline/pretrain.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace mcm {
+
+std::vector<GraphTask> BuildGraphTasks(const std::vector<Graph>& graphs,
+                                       CostModel& model, int num_chips,
+                                       std::uint64_t seed) {
+  std::vector<GraphTask> tasks;
+  tasks.reserve(graphs.size());
+  Rng rng(seed);
+  for (const Graph& graph : graphs) {
+    GraphTask task;
+    task.graph = &graph;
+    task.context = std::make_unique<GraphContext>(graph, num_chips);
+    BaselineResult baseline =
+        ComputeHeuristicBaseline(graph, model, task.context->solver(), rng);
+    if (!baseline.eval.valid) {
+      MCM_LOG(kWarning) << "skipping graph " << graph.name()
+                        << ": heuristic baseline invalid";
+      continue;
+    }
+    task.baseline_runtime_s = baseline.eval.runtime_s;
+    task.env = std::make_unique<PartitionEnv>(graph, model,
+                                              task.baseline_runtime_s);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+PretrainPipeline::PretrainPipeline(PretrainConfig config,
+                                   CostModel& reward_model)
+    : config_(config), reward_model_(&reward_model), policy_(config.rl) {}
+
+std::vector<Checkpoint> PretrainPipeline::Train(
+    const std::vector<Graph>& train_graphs) {
+  std::vector<GraphTask> tasks = BuildGraphTasks(
+      train_graphs, *reward_model_, config_.rl.num_chips,
+      HashCombine(config_.seed, 0x7261696eULL));
+  MCM_CHECK(!tasks.empty());
+
+  PpoTrainer trainer(policy_, Rng(HashCombine(config_.seed, 1)));
+  std::vector<Checkpoint> checkpoints;
+  checkpoints.reserve(static_cast<std::size_t>(config_.num_checkpoints));
+  const int samples_per_checkpoint =
+      std::max(1, config_.total_samples / config_.num_checkpoints);
+
+  int samples_seen = 0;
+  int next_checkpoint_at = samples_per_checkpoint;
+  std::size_t task_index = 0;
+  while (samples_seen < config_.total_samples) {
+    GraphTask& task = tasks[task_index];
+    task_index = (task_index + 1) % tasks.size();
+    const PpoTrainer::IterationResult result =
+        trainer.Iterate(*task.context, *task.env);
+    samples_seen += static_cast<int>(result.rewards.size());
+    if (samples_seen >= next_checkpoint_at &&
+        static_cast<int>(checkpoints.size()) < config_.num_checkpoints) {
+      Checkpoint checkpoint;
+      checkpoint.id = static_cast<int>(checkpoints.size());
+      checkpoint.samples_seen = samples_seen;
+      checkpoint.params = SnapshotParams(policy_.Params());
+      checkpoints.push_back(std::move(checkpoint));
+      next_checkpoint_at += samples_per_checkpoint;
+    }
+  }
+  // Always keep the final weights as the last checkpoint.
+  if (checkpoints.empty() ||
+      checkpoints.back().samples_seen < samples_seen) {
+    Checkpoint checkpoint;
+    checkpoint.id = static_cast<int>(checkpoints.size());
+    checkpoint.samples_seen = samples_seen;
+    checkpoint.params = SnapshotParams(policy_.Params());
+    checkpoints.push_back(std::move(checkpoint));
+  }
+  return checkpoints;
+}
+
+int PretrainPipeline::Validate(std::vector<Checkpoint>& checkpoints,
+                               const std::vector<Graph>& validation_graphs) {
+  MCM_CHECK(!checkpoints.empty());
+  std::vector<GraphTask> tasks = BuildGraphTasks(
+      validation_graphs, *reward_model_, config_.rl.num_chips,
+      HashCombine(config_.seed, 0x76616cULL));
+  MCM_CHECK(!tasks.empty());
+
+  int best_index = 0;
+  double best_score = -1.0;
+  for (std::size_t k = 0; k < checkpoints.size(); ++k) {
+    // Score every validate_every-th checkpoint, and always the last.
+    if (k % static_cast<std::size_t>(std::max(1, config_.validate_every)) !=
+            0 &&
+        k + 1 != checkpoints.size()) {
+      continue;
+    }
+    Checkpoint& checkpoint = checkpoints[k];
+    RunningStats zeroshot_scores;
+    RunningStats finetune_scores;
+    for (GraphTask& task : tasks) {
+      // Zero-shot: sample through the solver, no updates.
+      {
+        PolicyNetwork probe(config_.rl);
+        Restore(probe, checkpoint);
+        PpoTrainer probe_trainer(
+            probe, Rng(HashCombine(config_.seed, 100 + k)));
+        const auto result = probe_trainer.EvaluateOnly(
+            *task.context, *task.env, config_.validation_zeroshot_samples);
+        zeroshot_scores.Add(result.best_reward);
+      }
+      // Fine-tune: a short PPO run warm-started from the checkpoint.
+      {
+        PolicyNetwork probe(config_.rl);
+        Restore(probe, checkpoint);
+        PpoTrainer probe_trainer(
+            probe, Rng(HashCombine(config_.seed, 200 + k)));
+        int samples = 0;
+        double best = 0.0;
+        while (samples < config_.validation_finetune_samples) {
+          const auto result =
+              probe_trainer.Iterate(*task.context, *task.env);
+          samples += static_cast<int>(result.rewards.size());
+          best = std::max(best, result.best_reward);
+        }
+        finetune_scores.Add(best);
+      }
+    }
+    checkpoint.zeroshot_score = zeroshot_scores.Mean();
+    checkpoint.finetune_score = finetune_scores.Mean();
+    checkpoint.validated = true;
+    if (checkpoint.finetune_score > best_score) {
+      best_score = checkpoint.finetune_score;
+      best_index = static_cast<int>(k);
+    }
+  }
+  return best_index;
+}
+
+void PretrainPipeline::Restore(PolicyNetwork& policy,
+                               const Checkpoint& checkpoint) {
+  RestoreParams(policy.Params(), checkpoint.params);
+}
+
+void PretrainPipeline::SaveCheckpointFile(const Checkpoint& checkpoint,
+                                          const RlConfig& config,
+                                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("SaveCheckpointFile: cannot open " + path);
+  }
+  out << "mcm-policy-checkpoint-v1 " << checkpoint.id << " "
+      << checkpoint.samples_seen << "\n";
+  // Route the payload through a policy instance so parameter names/shapes
+  // are recorded in the standard SaveParams format.
+  PolicyNetwork staging(config);
+  RestoreParams(staging.Params(), checkpoint.params);
+  SaveParams(staging.Params(), out);
+  if (!out) {
+    throw std::runtime_error("SaveCheckpointFile: write failed for " + path);
+  }
+}
+
+Checkpoint PretrainPipeline::LoadCheckpointFile(const RlConfig& config,
+                                                const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("LoadCheckpointFile: cannot open " + path);
+  }
+  std::string magic;
+  Checkpoint checkpoint;
+  in >> magic >> checkpoint.id >> checkpoint.samples_seen;
+  if (magic != "mcm-policy-checkpoint-v1") {
+    throw std::runtime_error("LoadCheckpointFile: bad header in " + path);
+  }
+  PolicyNetwork staging(config);
+  LoadParams(staging.Params(), in);
+  checkpoint.params = SnapshotParams(staging.Params());
+  return checkpoint;
+}
+
+}  // namespace mcm

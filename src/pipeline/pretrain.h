@@ -1,0 +1,100 @@
+// The paper's pre-training pipeline (Section 4.3, Figure 4).
+//
+// Training phase: a training worker iterates the training graphs, running
+// PPO against the (cheap) analytical cost model and periodically snapshotting
+// the policy weights as checkpoints.  A validation worker scores each
+// checkpoint on the validation graphs -- zero-shot and after a short
+// fine-tune -- and picks the best one.
+//
+// Deployment phase: the chosen checkpoint warm-starts the policy on an
+// unseen graph, either zero-shot (inference only) or with fine-tuning,
+// typically against the expensive real-hardware evaluator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+#include "graph/graph.h"
+#include "nn/modules.h"
+#include "rl/env.h"
+#include "rl/policy.h"
+#include "rl/ppo.h"
+
+namespace mcm {
+
+struct PretrainConfig {
+  RlConfig rl;
+  // Paper budgets: 20,000 pre-training samples, 200 checkpoints.
+  int total_samples = 20000;
+  int num_checkpoints = 200;
+  // Validation-worker budgets per graph per checkpoint.
+  int validation_zeroshot_samples = 10;
+  int validation_finetune_samples = 40;
+  // Scoring only every k-th checkpoint keeps the validation worker's cost
+  // manageable at quick scale (1 = score all, the paper's setting).
+  int validate_every = 1;
+  std::uint64_t seed = 20220301;
+};
+
+struct Checkpoint {
+  int id = -1;
+  int samples_seen = 0;
+  std::vector<Matrix> params;
+  double zeroshot_score = 0.0;
+  double finetune_score = 0.0;
+  bool validated = false;
+};
+
+// Everything needed to run episodes on one graph: context, environment, and
+// the cached heuristic baseline.
+struct GraphTask {
+  const Graph* graph = nullptr;
+  std::unique_ptr<GraphContext> context;
+  std::unique_ptr<PartitionEnv> env;
+  double baseline_runtime_s = 0.0;
+};
+
+// Builds GraphTasks (contexts + baselines) for a set of graphs against a
+// cost model.  Graphs whose heuristic baseline fails to evaluate (it never
+// does for the analytical model) are skipped with a warning.
+std::vector<GraphTask> BuildGraphTasks(const std::vector<Graph>& graphs,
+                                       CostModel& model, int num_chips,
+                                       std::uint64_t seed);
+
+class PretrainPipeline {
+ public:
+  PretrainPipeline(PretrainConfig config, CostModel& reward_model);
+
+  // Training phase: PPO over the training graphs (round-robin), emitting
+  // `num_checkpoints` evenly spaced parameter snapshots.
+  std::vector<Checkpoint> Train(const std::vector<Graph>& train_graphs);
+
+  // Validation phase: scores checkpoints on the validation graphs and
+  // returns the index of the best one (by fine-tune score, the deployment
+  // mode the paper ends up recommending).
+  int Validate(std::vector<Checkpoint>& checkpoints,
+               const std::vector<Graph>& validation_graphs);
+
+  // Warm-starts `policy` from a checkpoint.
+  static void Restore(PolicyNetwork& policy, const Checkpoint& checkpoint);
+
+  // Disk persistence: a checkpoint file records the id, samples seen, and
+  // parameter payload; loading validates shapes against `config.rl`.
+  // Throws std::runtime_error on I/O or format errors.
+  static void SaveCheckpointFile(const Checkpoint& checkpoint,
+                                 const RlConfig& config,
+                                 const std::string& path);
+  static Checkpoint LoadCheckpointFile(const RlConfig& config,
+                                       const std::string& path);
+
+  PolicyNetwork& policy() { return policy_; }
+  const PretrainConfig& config() const { return config_; }
+
+ private:
+  PretrainConfig config_;
+  CostModel* reward_model_;
+  PolicyNetwork policy_;
+};
+
+}  // namespace mcm

@@ -1,0 +1,94 @@
+// The partitioning environment: candidate partition -> corrected partition
+// -> evaluation -> reward.
+//
+// Rewards follow the paper's metric: throughput improvement over a compiler
+// heuristic (the greedy baseline), i.e. runtime_baseline / runtime_candidate.
+// An invalid partition (dynamic constraint) earns zero reward, exactly as
+// the paper's evaluation platform "returns a zero throughput when it
+// evaluates an invalid partition".
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "costmodel/cost_model.h"
+#include "graph/graph.h"
+#include "partition/partition.h"
+#include "rl/policy.h"
+#include "solver/modes.h"
+
+namespace mcm {
+
+// Repairs an arbitrary candidate into a statically valid partition with the
+// solver's FIX mode over a fresh ALAP-random order.
+SolveResult RepairPartition(CpSolver& solver, const Graph& graph,
+                            const Partition& candidate, Rng& rng);
+
+// The compiler-heuristic baseline the paper normalizes against: the greedy
+// contiguous partition, repaired to static validity.  Returns the repaired
+// partition and its evaluation (which callers should verify is valid).
+struct BaselineResult {
+  Partition partition;
+  EvalResult eval;
+};
+BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
+                                        CpSolver& solver, Rng& rng);
+
+class PartitionEnv {
+ public:
+  // A multi-chip TPU "focuses more on throughput rather than latency.
+  // However, our framework can easily re-target a latency metric"
+  // (Section 5.1): both objectives are supported.
+  enum class Objective { kThroughput, kLatency };
+
+  // `baseline_runtime_s` anchors the improvement metric (baseline latency
+  // when the latency objective is selected); use ComputeHeuristicBaseline
+  // to obtain it.
+  PartitionEnv(const Graph& graph, CostModel& model,
+               double baseline_runtime_s,
+               Objective objective = Objective::kThroughput)
+      : graph_(&graph),
+        model_(&model),
+        baseline_runtime_s_(baseline_runtime_s),
+        objective_(objective) {}
+
+  Objective objective() const { return objective_; }
+
+  // Evaluates a (corrected) partition: improvement ratio, or 0 when invalid.
+  double Reward(const Partition& partition);
+
+  // Full evaluation result of the last Reward() call.
+  const EvalResult& last_eval() const { return last_eval_; }
+  double baseline_runtime_s() const { return baseline_runtime_s_; }
+  const Graph& graph() const { return *graph_; }
+  CostModel& model() { return *model_; }
+
+  std::int64_t num_evaluations() const { return num_evaluations_; }
+
+  // The best-scoring valid partition seen by this environment, if any.
+  // Search strategies all score through Reward(), so after a run this holds
+  // the incumbent the trace's best value refers to.
+  bool has_best() const { return best_reward_ > 0.0; }
+  double best_reward() const { return best_reward_; }
+  const Partition& best_partition() const { return best_partition_; }
+
+ private:
+  const Graph* graph_;
+  CostModel* model_;
+  double baseline_runtime_s_;
+  Objective objective_;
+  EvalResult last_eval_;
+  std::int64_t num_evaluations_ = 0;
+  double best_reward_ = 0.0;
+  Partition best_partition_;
+};
+
+// Runs the full candidate -> corrected -> reward step for one rollout,
+// filling `rollout.corrected`, `rollout.solver_success`, and
+// `rollout.reward`.  In SAMPLE mode the rollout's final-iteration actions
+// and log-probs are replaced by the solver's (valid) assignment, which is
+// the action that actually earned the reward.
+void CorrectAndScore(GraphContext& context, PartitionEnv& env,
+                     RlConfig::SolverMode mode, Rollout& rollout, Rng& rng);
+
+}  // namespace mcm

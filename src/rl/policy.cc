@@ -1,0 +1,208 @@
+#include "rl/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "graph/features.h"
+
+namespace mcm {
+namespace {
+
+// One-hot encoding of an action vector as an [N x C] matrix; nullptr (no
+// previous iteration) encodes as all zeros.
+Matrix OneHotActions(const std::vector<int>* actions, int num_nodes,
+                     int num_chips) {
+  Matrix m(num_nodes, num_chips);
+  if (actions == nullptr) return m;
+  MCM_CHECK_EQ(static_cast<int>(actions->size()), num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    m.at(i, (*actions)[static_cast<std::size_t>(i)]) = 1.0f;
+  }
+  return m;
+}
+
+std::vector<int> MlpDims(int in_dim, int hidden_dim, int out_dim,
+                         int num_layers) {
+  std::vector<int> dims;
+  dims.push_back(in_dim);
+  for (int i = 0; i < num_layers - 1; ++i) dims.push_back(hidden_dim);
+  dims.push_back(out_dim);
+  return dims;
+}
+
+}  // namespace
+
+GraphContext::GraphContext(const Graph& graph, int num_chips)
+    : graph_(&graph),
+      neighbors_(BuildNeighborLists(graph)),
+      solver_(graph, num_chips) {
+  const std::vector<float> raw = ExtractNodeFeatures(graph);
+  features_ = Matrix(graph.NumNodes(), kNodeFeatureDim);
+  features_.data = raw;
+}
+
+PolicyNetwork::PolicyNetwork(const RlConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      feature_net_(kNodeFeatureDim, config.hidden_dim, config.gnn_layers,
+                   init_rng_),
+      policy_head_("policy",
+                   MlpDims(config.hidden_dim + config.num_chips,
+                           config.hidden_dim, config.num_chips,
+                           config.policy_layers),
+                   init_rng_),
+      value_head_("value",
+                  MlpDims(config.hidden_dim, config.hidden_dim, 1, 2),
+                  init_rng_) {}
+
+ParamRefs PolicyNetwork::Params() {
+  ParamRefs refs = feature_net_.Params();
+  for (Param* p : policy_head_.Params()) refs.push_back(p);
+  for (Param* p : value_head_.Params()) refs.push_back(p);
+  return refs;
+}
+
+VarId PolicyNetwork::EmbedGraph(Tape& tape, GraphContext& context) {
+  const VarId features = tape.Constant(context.features());
+  return feature_net_.Forward(tape, features, &context.neighbors());
+}
+
+VarId PolicyNetwork::HeadLogits(Tape& tape, VarId embeddings,
+                                const std::vector<int>* prev) {
+  const Matrix& h = tape.value(embeddings);
+  const VarId prev_onehot =
+      tape.Constant(OneHotActions(prev, h.rows, config_.num_chips));
+  return policy_head_.Forward(tape, tape.ConcatCols(embeddings, prev_onehot));
+}
+
+Rollout PolicyNetwork::SampleRollout(GraphContext& context, Rng& rng) {
+  Tape tape;
+  const VarId h = EmbedGraph(tape, context);
+  const int n = context.num_nodes();
+  const int c = config_.num_chips;
+
+  Rollout rollout;
+  const std::vector<int>* prev = nullptr;
+  Matrix probs;
+  for (int t = 0; t < config_.decode_iterations; ++t) {
+    const VarId logits = HeadLogits(tape, h, prev);
+    probs = Tape::RowSoftmax(tape.value(logits));
+    std::vector<int> actions(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<double> weights(static_cast<std::size_t>(c));
+      const auto row = probs.row(i);
+      for (int j = 0; j < c; ++j) weights[static_cast<std::size_t>(j)] = row[j];
+      actions[static_cast<std::size_t>(i)] =
+          static_cast<int>(rng.SampleDiscrete(weights));
+    }
+    rollout.old_logp.push_back(
+        Tape::RowLogProbs(tape.value(logits), actions));
+    rollout.actions.push_back(std::move(actions));
+    prev = &rollout.actions.back();
+  }
+
+  rollout.probs.num_nodes = n;
+  rollout.probs.num_chips = c;
+  rollout.probs.data.assign(probs.data.begin(), probs.data.end());
+  // Epsilon-mix with uniform: the behavior distribution the solver samples
+  // from (and whose log-probs are recorded when retargeting at y').
+  const double mix = config_.exploration_mix;
+  if (mix > 0.0) {
+    for (double& p : rollout.probs.data) {
+      p = (1.0 - mix) * p + mix / c;
+    }
+  }
+
+  rollout.candidate = Partition::Empty(n, c);
+  const auto& final_actions = rollout.actions.back();
+  for (int i = 0; i < n; ++i) {
+    rollout.candidate.assignment[static_cast<std::size_t>(i)] =
+        final_actions[static_cast<std::size_t>(i)];
+  }
+  rollout.value_pred = static_cast<double>(
+      tape.value(value_head_.Forward(tape, tape.MeanRowsOp(h))).at(0, 0));
+  return rollout;
+}
+
+Rollout PolicyNetwork::GreedyRollout(GraphContext& context) {
+  Tape tape;
+  const VarId h = EmbedGraph(tape, context);
+  const int n = context.num_nodes();
+  const int c = config_.num_chips;
+
+  Rollout rollout;
+  const std::vector<int>* prev = nullptr;
+  Matrix probs;
+  for (int t = 0; t < config_.decode_iterations; ++t) {
+    const VarId logits = HeadLogits(tape, h, prev);
+    probs = Tape::RowSoftmax(tape.value(logits));
+    std::vector<int> actions(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto row = probs.row(i);
+      actions[static_cast<std::size_t>(i)] = static_cast<int>(
+          std::max_element(row.begin(), row.end()) - row.begin());
+    }
+    rollout.old_logp.push_back(
+        Tape::RowLogProbs(tape.value(logits), actions));
+    rollout.actions.push_back(std::move(actions));
+    prev = &rollout.actions.back();
+  }
+  rollout.probs.num_nodes = n;
+  rollout.probs.num_chips = c;
+  rollout.probs.data.assign(probs.data.begin(), probs.data.end());
+  rollout.candidate = Partition::Empty(n, c);
+  const auto& final_actions = rollout.actions.back();
+  for (int i = 0; i < n; ++i) {
+    rollout.candidate.assignment[static_cast<std::size_t>(i)] =
+        final_actions[static_cast<std::size_t>(i)];
+  }
+  rollout.value_pred = static_cast<double>(
+      tape.value(value_head_.Forward(tape, tape.MeanRowsOp(h))).at(0, 0));
+  return rollout;
+}
+
+VarId PolicyNetwork::BuildLoss(Tape& tape, GraphContext& context,
+                               const Rollout& rollout) {
+  const Rollout* one[] = {&rollout};
+  return BuildMinibatchLoss(tape, context, one);
+}
+
+VarId PolicyNetwork::BuildMinibatchLoss(
+    Tape& tape, GraphContext& context,
+    std::span<const Rollout* const> rollouts) {
+  MCM_CHECK(!rollouts.empty());
+  const VarId h = EmbedGraph(tape, context);
+  const double inv_batch = 1.0 / static_cast<double>(rollouts.size());
+  VarId total = -1;
+  for (const Rollout* rollout : rollouts) {
+    VarId sample_loss = -1;
+    const std::vector<int>* prev = nullptr;
+    for (std::size_t t = 0; t < rollout->actions.size(); ++t) {
+      const VarId logits = HeadLogits(tape, h, prev);
+      const VarId ppo = tape.PpoLossOp(
+          logits, rollout->actions[t], rollout->advantage,
+          rollout->old_logp[t], config_.clip_epsilon, config_.entropy_coef);
+      sample_loss =
+          sample_loss < 0 ? ppo : tape.AddScaled(sample_loss, 1.0, ppo, 1.0);
+      prev = &rollout->actions[t];
+    }
+    const VarId value = value_head_.Forward(tape, tape.MeanRowsOp(h));
+    const VarId value_loss = tape.SquaredErrorOp(value, rollout->reward);
+    sample_loss =
+        tape.AddScaled(sample_loss, 1.0, value_loss, config_.value_coef);
+    total = total < 0
+                ? tape.AddScaled(sample_loss, inv_batch, sample_loss, 0.0)
+                : tape.AddScaled(total, 1.0, sample_loss, inv_batch);
+  }
+  return total;
+}
+
+double PolicyNetwork::PredictValue(GraphContext& context) {
+  Tape tape;
+  const VarId h = EmbedGraph(tape, context);
+  return static_cast<double>(
+      tape.value(value_head_.Forward(tape, tape.MeanRowsOp(h))).at(0, 0));
+}
+
+}  // namespace mcm

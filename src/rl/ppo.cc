@@ -1,0 +1,95 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace mcm {
+
+PpoTrainer::PpoTrainer(PolicyNetwork& policy, Rng rng)
+    : policy_(policy),
+      adam_(policy.Params(),
+            Adam::Options{.lr = policy.config().learning_rate}),
+      rng_(rng) {}
+
+std::vector<Rollout> PpoTrainer::CollectRollouts(GraphContext& context,
+                                                 PartitionEnv& env, int count,
+                                                 IterationResult& result) {
+  std::vector<Rollout> rollouts;
+  rollouts.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    Rollout rollout = policy_.SampleRollout(context, rng_);
+    CorrectAndScore(context, env, policy_.config().solver_mode, rollout,
+                    rng_);
+    result.rewards.push_back(rollout.reward);
+    if (rollout.reward <= 0.0) ++result.invalid_samples;
+    rollouts.push_back(std::move(rollout));
+  }
+  return rollouts;
+}
+
+PpoTrainer::IterationResult PpoTrainer::Iterate(GraphContext& context,
+                                                PartitionEnv& env) {
+  const RlConfig& config = policy_.config();
+  IterationResult result;
+  std::vector<Rollout> rollouts = CollectRollouts(
+      context, env, config.rollouts_per_update, result);
+
+  RunningStats reward_stats;
+  for (const Rollout& rollout : rollouts) reward_stats.Add(rollout.reward);
+  result.mean_reward = reward_stats.Mean();
+  result.best_reward = reward_stats.Max();
+
+  // Advantages: reward minus the learned value baseline, normalized across
+  // the batch for stable updates.
+  RunningStats adv_stats;
+  for (Rollout& rollout : rollouts) {
+    rollout.advantage = rollout.reward - rollout.value_pred;
+    adv_stats.Add(rollout.advantage);
+  }
+  const double adv_std = std::max(adv_stats.Stddev(), 1e-6);
+  for (Rollout& rollout : rollouts) {
+    rollout.advantage = (rollout.advantage - adv_stats.Mean()) / adv_std;
+  }
+
+  // PPO epochs over shuffled minibatches.
+  std::vector<const Rollout*> pool;
+  pool.reserve(rollouts.size());
+  for (const Rollout& rollout : rollouts) pool.push_back(&rollout);
+  const int num_minibatches = std::max(1, config.minibatches);
+  RunningStats loss_stats;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng_.Shuffle(pool);
+    for (int mb = 0; mb < num_minibatches; ++mb) {
+      const std::size_t begin = pool.size() * mb / num_minibatches;
+      const std::size_t end = pool.size() * (mb + 1) / num_minibatches;
+      if (begin == end) continue;
+      Tape tape;
+      const VarId loss = policy_.BuildMinibatchLoss(
+          tape, context,
+          std::span<const Rollout* const>(pool.data() + begin, end - begin));
+      loss_stats.Add(static_cast<double>(tape.value(loss).at(0, 0)));
+      tape.Backward(loss);
+      adam_.Step();
+    }
+  }
+  result.mean_loss = loss_stats.Mean();
+  return result;
+}
+
+PpoTrainer::IterationResult PpoTrainer::EvaluateOnly(GraphContext& context,
+                                                     PartitionEnv& env,
+                                                     int num_samples) {
+  IterationResult result;
+  std::vector<Rollout> rollouts =
+      CollectRollouts(context, env, num_samples, result);
+  RunningStats reward_stats;
+  for (const Rollout& rollout : rollouts) reward_stats.Add(rollout.reward);
+  result.mean_reward = reward_stats.Mean();
+  result.best_reward = reward_stats.Max();
+  return result;
+}
+
+}  // namespace mcm

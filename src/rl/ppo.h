@@ -1,0 +1,51 @@
+// Proximal Policy Optimization trainer (Schulman et al., 2017), wired to
+// the paper's loop: sample rollouts with the policy, correct each with the
+// constraint solver, evaluate on the cost model, and update with the
+// clipped surrogate over `epochs` x `minibatches`.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/modules.h"
+#include "rl/env.h"
+#include "rl/policy.h"
+
+namespace mcm {
+
+class PpoTrainer {
+ public:
+  PpoTrainer(PolicyNetwork& policy, Rng rng);
+
+  struct IterationResult {
+    // Per-sample rewards in collection order (for search traces).
+    std::vector<double> rewards;
+    double mean_reward = 0.0;
+    double best_reward = 0.0;
+    double mean_loss = 0.0;
+    int invalid_samples = 0;  // Zero-reward (dynamic-constraint) samples.
+  };
+
+  // One PPO iteration: `rollouts_per_update` samples on (context, env),
+  // advantage computation, and the update epochs.
+  IterationResult Iterate(GraphContext& context, PartitionEnv& env);
+
+  // Collection without updates (zero-shot deployment): stochastic samples
+  // through the solver, rewards recorded, parameters untouched.
+  IterationResult EvaluateOnly(GraphContext& context, PartitionEnv& env,
+                               int num_samples);
+
+  PolicyNetwork& policy() { return policy_; }
+  Adam& optimizer() { return adam_; }
+
+ private:
+  std::vector<Rollout> CollectRollouts(GraphContext& context,
+                                       PartitionEnv& env, int count,
+                                       IterationResult& result);
+
+  PolicyNetwork& policy_;
+  Adam adam_;
+  Rng rng_;
+};
+
+}  // namespace mcm

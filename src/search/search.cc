@@ -1,0 +1,171 @@
+#include "search/search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "solver/modes.h"
+
+namespace mcm {
+
+double SearchTrace::BestWithin(std::size_t samples) const {
+  double best = 0.0;
+  const std::size_t limit = std::min(samples, rewards.size());
+  for (std::size_t i = 0; i < limit; ++i) best = std::max(best, rewards[i]);
+  return best;
+}
+
+std::vector<double> SearchTrace::BestSoFar() const {
+  std::vector<double> curve;
+  curve.reserve(rewards.size());
+  double best = 0.0;
+  for (double r : rewards) {
+    best = std::max(best, r);
+    curve.push_back(best);
+  }
+  return curve;
+}
+
+std::optional<std::size_t> SearchTrace::SamplesToReach(
+    double threshold) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < rewards.size(); ++i) {
+    best = std::max(best, rewards[i]);
+    if (best >= threshold) return i + 1;
+  }
+  return std::nullopt;
+}
+
+SearchTrace RandomSearch::Run(GraphContext& context, PartitionEnv& env,
+                              int budget) {
+  SearchTrace trace;
+  trace.strategy = name();
+  const ProbMatrix uniform = ProbMatrix::Uniform(
+      context.num_nodes(), context.solver().num_chips());
+  for (int k = 0; k < budget; ++k) {
+    const SolveResult solved = SolveSampleWithRestarts(
+        context.solver(), context.graph(), uniform, rng_);
+    trace.rewards.push_back(solved.success ? env.Reward(solved.partition)
+                                           : 0.0);
+  }
+  return trace;
+}
+
+namespace {
+
+// Draws a random categorical distribution; smaller `concentration` gives
+// sharper rows (Dirichlet(concentration) via normalized Gamma would be the
+// textbook draw; an exponential-power approximation suffices here).
+void RandomizeRow(std::span<double> row, double concentration, Rng& rng) {
+  double total = 0.0;
+  for (double& w : row) {
+    const double u = std::max(rng.UniformDouble(), 1e-12);
+    w = std::pow(-std::log(u), 1.0 / std::max(concentration, 1e-3));
+    total += w;
+  }
+  for (double& w : row) w /= total;
+}
+
+}  // namespace
+
+SearchTrace SimulatedAnnealing::Run(GraphContext& context, PartitionEnv& env,
+                                    int budget) {
+  SearchTrace trace;
+  trace.strategy = name();
+  const int n = context.num_nodes();
+  const int c = context.solver().num_chips();
+
+  ProbMatrix current = ProbMatrix::Uniform(n, c);
+  double current_reward = 0.0;
+  {
+    const SolveResult solved = SolveSampleWithRestarts(
+        context.solver(), context.graph(), current, rng_);
+    current_reward = solved.success ? env.Reward(solved.partition) : 0.0;
+    trace.rewards.push_back(current_reward);
+  }
+
+  const int perturb_nodes = std::max(
+      1, static_cast<int>(options_.perturb_fraction * n));
+  for (int k = 1; k < budget; ++k) {
+    // Geometric temperature schedule.
+    const double progress = static_cast<double>(k) / std::max(budget - 1, 1);
+    const double temperature =
+        options_.initial_temperature *
+        std::pow(options_.final_temperature / options_.initial_temperature,
+                 progress);
+
+    ProbMatrix proposal = current;
+    for (int j = 0; j < perturb_nodes; ++j) {
+      const int node = static_cast<int>(rng_.UniformInt(
+          static_cast<std::uint64_t>(n)));
+      RandomizeRow(proposal.row(node), options_.concentration, rng_);
+    }
+    const SolveResult solved = SolveSampleWithRestarts(
+        context.solver(), context.graph(), proposal, rng_);
+    const double reward =
+        solved.success ? env.Reward(solved.partition) : 0.0;
+    trace.rewards.push_back(reward);
+
+    const double delta = reward - current_reward;
+    if (delta >= 0.0 ||
+        rng_.UniformDouble() < std::exp(delta / std::max(temperature, 1e-9))) {
+      current = std::move(proposal);
+      current_reward = reward;
+    }
+  }
+  return trace;
+}
+
+SearchTrace RlSearch::Run(GraphContext& context, PartitionEnv& env,
+                          int budget) {
+  SearchTrace trace;
+  trace.strategy = name();
+  const int per_update = trainer_.policy().config().rollouts_per_update;
+  while (static_cast<int>(trace.rewards.size()) < budget) {
+    const int remaining = budget - static_cast<int>(trace.rewards.size());
+    PpoTrainer::IterationResult result;
+    if (zero_shot_ || remaining < per_update) {
+      result = trainer_.EvaluateOnly(context, env,
+                                     std::min(per_update, remaining));
+    } else {
+      result = trainer_.Iterate(context, env);
+    }
+    trace.rewards.insert(trace.rewards.end(), result.rewards.begin(),
+                         result.rewards.end());
+  }
+  if (static_cast<int>(trace.rewards.size()) > budget) {
+    trace.rewards.resize(static_cast<std::size_t>(budget));
+  }
+  return trace;
+}
+
+SearchTrace NoSolverRlSearch::Run(GraphContext& context, PartitionEnv& env,
+                                  int budget) {
+  // The borrowed policy may be configured with a solver mode; this ablation
+  // forces kNone through a scoped override on a copy of the config inside
+  // the trainer's collection loop -- the policy object itself carries the
+  // mode, so we require it to be pre-configured with kNone.
+  MCM_CHECK(policy_->config().solver_mode == RlConfig::SolverMode::kNone)
+      << "NoSolverRlSearch requires a policy configured with "
+         "SolverMode::kNone";
+  SearchTrace trace;
+  trace.strategy = name();
+  const int per_update = policy_->config().rollouts_per_update;
+  while (static_cast<int>(trace.rewards.size()) < budget) {
+    const int remaining = budget - static_cast<int>(trace.rewards.size());
+    PpoTrainer::IterationResult result;
+    if (remaining < per_update) {
+      result = trainer_.EvaluateOnly(context, env, remaining);
+    } else {
+      result = trainer_.Iterate(context, env);
+    }
+    trace.rewards.insert(trace.rewards.end(), result.rewards.begin(),
+                         result.rewards.end());
+  }
+  if (static_cast<int>(trace.rewards.size()) > budget) {
+    trace.rewards.resize(static_cast<std::size_t>(budget));
+  }
+  return trace;
+}
+
+}  // namespace mcm

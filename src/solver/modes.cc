@@ -1,0 +1,292 @@
+#include "solver/modes.h"
+#include <limits>
+#include <algorithm>
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace mcm {
+namespace {
+
+// Defensive ceiling on solver work: a solve that exceeds this many SetDomain
+// calls (heavy thrashing) is reported as a failure rather than looping.
+constexpr std::int64_t kMaxSetDomainCallsPerNode = 30;
+
+// Value-selection policy shared by the solve drivers.  Two soft rules shape
+// where a sampled chip lands, each dropped if it would empty the choice set:
+//   1. Open chips in order (chips <= MaxFixedChip()+1): opening a chip
+//      before all lower chips are in use leaves holes that are usually
+//      unfillable, and the failure surfaces only hundreds of decisions
+//      later.
+//   2. Avoid overfull chips (fewer than ~2x the fair share of nodes):
+//      otherwise unbiased sampling parks the entire tail of the graph on
+//      the last opened chip.
+// Neither rule excludes any *solution* -- they only bias which one sampling
+// walks toward; the returned mask is always a non-empty subset of `domain`.
+// `pace_scale` stretches the per-chip node target for one whole solve: at
+// 1.0 the frontier reaches the last chip together with the last node; below
+// 1.0 it arrives early (tail-heavy partitions, possibly overflowing chip
+// memory on the target); above 1.0 it never gets there (fewer chips used).
+// Drawing the scale once per solve is what gives SAMPLE-mode exploration its
+// variance -- without it every sample is node-count balanced and best-of-N
+// search curves stay flat.
+ChipDomain PreferredValues(const CpSolver& solver, ChipDomain domain,
+                           double pace_scale) {
+  const int num_chips = solver.num_chips();
+  const int per_chip = std::max(
+      1, static_cast<int>(pace_scale *
+                          ((solver.num_nodes() + num_chips - 1) / num_chips)));
+  // Pacing: chip k opens only once ~k * per_chip nodes are placed.
+  const int pace_limit = solver.NumFixedNodes() / per_chip + 1;
+  const int window_top =
+      std::min({solver.MaxFixedChip() + 1, pace_limit, num_chips - 1});
+  const ChipDomain open_window = MaskUpTo(window_top);
+  const int quota = 2 * per_chip + 1;
+  const ChipDomain under_quota = solver.UnderQuotaMask(quota);
+  if ((domain & open_window & under_quota) != 0) {
+    return domain & open_window & under_quota;
+  }
+  if ((domain & open_window) != 0) return domain & open_window;
+  return domain;
+}
+
+// Per-solve pacing draw; see PreferredValues.
+double DrawPaceScale(Rng& rng) { return rng.UniformDouble(0.92, 1.7); }
+
+}  // namespace
+
+ProbMatrix ProbMatrix::Uniform(int num_nodes, int num_chips) {
+  ProbMatrix probs;
+  probs.num_nodes = num_nodes;
+  probs.num_chips = num_chips;
+  probs.data.assign(
+      static_cast<std::size_t>(num_nodes) * static_cast<std::size_t>(num_chips),
+      1.0 / num_chips);
+  return probs;
+}
+
+std::vector<int> RandomNodeOrder(int num_nodes, Rng& rng) {
+  std::vector<int> order(static_cast<std::size_t>(num_nodes));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  return order;
+}
+
+std::vector<int> TopologicalNodeOrder(const Graph& graph) {
+  return graph.TopologicalOrder();
+}
+
+std::vector<int> RandomTopologicalOrder(const Graph& graph, Rng& rng) {
+  const int n = graph.NumNodes();
+  std::vector<int> indegree(static_cast<std::size_t>(n));
+  std::vector<int> ready;
+  for (int u = 0; u < n; ++u) {
+    indegree[static_cast<std::size_t>(u)] = graph.InDegree(u);
+    if (indegree[static_cast<std::size_t>(u)] == 0) ready.push_back(u);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const std::size_t pick = rng.UniformInt(ready.size());
+    const int u = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (int v : graph.Successors(u)) {
+      if (--indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+  }
+  MCM_CHECK_EQ(static_cast<int>(order.size()), n);
+  return order;
+}
+
+std::vector<int> AlapRandomTopologicalOrder(const Graph& graph, Rng& rng) {
+  const int n = graph.NumNodes();
+  // ALAP level: sinks at their ASAP depth; everything else as late as its
+  // earliest consumer allows.
+  const std::vector<int> asap = graph.Depths();
+  std::vector<int> alap(static_cast<std::size_t>(n), 0);
+  const std::vector<int> topo = graph.TopologicalOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const int u = *it;
+    if (graph.OutDegree(u) == 0) {
+      alap[static_cast<std::size_t>(u)] = asap[static_cast<std::size_t>(u)];
+      continue;
+    }
+    int level = std::numeric_limits<int>::max();
+    for (int succ : graph.Successors(u)) {
+      level = std::min(level, alap[static_cast<std::size_t>(succ)] - 1);
+    }
+    alap[static_cast<std::size_t>(u)] = level;
+  }
+  // Decision keys: (level, deferred, random).  Non-source nodes are ordered
+  // by ALAP level (a topological order, randomized within levels).  Source
+  // nodes (constants / graph inputs) are *deferred until after their
+  // earliest consumers*: a source carries no dataflow constraint of its
+  // own, so deciding it first means sampling it nearly unconstrained and
+  // discovering the conflict (typically against the NoC triangle rule) only
+  // when its consumers are fixed.  Decided after them, propagation has
+  // already pinned its feasible chips.  The emitted order is therefore not
+  // strictly a linear extension -- the solver does not require one.
+  struct DecisionKey {
+    long long key;
+    int node;
+  };
+  std::vector<DecisionKey> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    int level = alap[static_cast<std::size_t>(u)];
+    long long deferred = 0;
+    if (graph.InDegree(u) == 0 && graph.OutDegree(u) > 0) {
+      int first_consumer = std::numeric_limits<int>::max();
+      for (int succ : graph.Successors(u)) {
+        first_consumer =
+            std::min(first_consumer, alap[static_cast<std::size_t>(succ)]);
+      }
+      level = first_consumer;
+      deferred = 1;
+    }
+    keys.push_back(
+        DecisionKey{(static_cast<long long>(level) << 1) | deferred, u});
+  }
+  // Shuffle first so equal keys land in random relative order, then
+  // stable-sort by key.
+  rng.Shuffle(keys);
+  std::stable_sort(keys.begin(), keys.end(),
+                   [](const DecisionKey& a, const DecisionKey& b) {
+                     return a.key < b.key;
+                   });
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (const DecisionKey& k : keys) order.push_back(k.node);
+  MCM_CHECK_EQ(static_cast<int>(order.size()), n);
+  return order;
+}
+
+SolveResult SolveSample(CpSolver& solver, std::span<const int> order,
+                        const ProbMatrix& probs, Rng& rng) {
+  const int n = solver.num_nodes();
+  MCM_CHECK_EQ(static_cast<int>(order.size()), n);
+  MCM_CHECK_EQ(probs.num_nodes, n);
+  MCM_CHECK_EQ(probs.num_chips, solver.num_chips());
+  solver.Reset();
+
+  SolveResult result;
+  const std::int64_t budget = kMaxSetDomainCallsPerNode * n;
+  const double pace_scale = DrawPaceScale(rng);
+  int i = 0;
+  while (i < n) {
+    const int u = order[static_cast<std::size_t>(i)];
+    const ChipDomain domain = solver.GetDomain(u);
+    // The soft exploration preference applies only when the policy actually
+    // has mass there; a confident policy (concentrated row) overrides it.
+    ChipDomain mask = PreferredValues(solver, domain, pace_scale);
+    if (mask != domain) {
+      const auto row = probs.row(u);
+      double preferred_mass = 0.0, domain_mass = 0.0;
+      for (int chip = 0; chip < solver.num_chips(); ++chip) {
+        if (DomainContains(domain, chip)) {
+          domain_mass += row[static_cast<std::size_t>(chip)];
+          if (DomainContains(mask, chip)) {
+            preferred_mass += row[static_cast<std::size_t>(chip)];
+          }
+        }
+      }
+      if (preferred_mass < 0.01 * domain_mass) mask = domain;
+    }
+    const int chip = static_cast<int>(
+        rng.SampleDiscreteMasked(probs.row(u), mask));
+    i = solver.SetDomain(u, 1ULL << chip);
+    ++result.set_domain_calls;
+    if (i < 0 || result.set_domain_calls > budget) return result;
+  }
+  MCM_CHECK(solver.AllFixed());
+  result.partition = solver.ExtractPartition();
+  result.success = true;
+  return result;
+}
+
+SolveResult SolveFix(CpSolver& solver, std::span<const int> order,
+                     const Partition& candidate, Rng& rng) {
+  const int n = solver.num_nodes();
+  MCM_CHECK_EQ(static_cast<int>(order.size()), n);
+  MCM_CHECK_EQ(static_cast<int>(candidate.assignment.size()), n);
+  solver.Reset();
+
+  SolveResult result;
+  const std::int64_t budget = kMaxSetDomainCallsPerNode * n;
+  const double pace_scale = DrawPaceScale(rng);
+  int i = 0;
+  while (i < 2 * n) {
+    const int u = order[static_cast<std::size_t>(i % n)];
+    const ChipDomain domain = solver.GetDomain(u);
+    if (i < n) {
+      const int wanted = candidate.chip(u);
+      // The candidate value must lie in the solver's domain (Algorithm 2's
+      // test) *and* within the open-chip window: CP-SAT's stronger
+      // propagation would have pruned frontier-incoherent values from the
+      // domain itself, while this solver's weaker propagation only discovers
+      // them through backtracking -- a candidate that scatters nodes over
+      // unopened chips (an untrained policy does) would otherwise thrash
+      // the solve.  Coherent candidates pass the window test everywhere.
+      const ChipDomain window =
+          MaskUpTo(std::min(solver.MaxFixedChip() + 1,
+                            solver.num_chips() - 1));
+      if (wanted >= 0 && wanted < solver.num_chips() &&
+          DomainContains(domain & window, wanted)) {
+        i = solver.SetDomain(u, 1ULL << wanted);
+      } else {
+        // Leave the node open; this still counts as a decision step.
+        i = solver.SetDomain(u, domain);
+      }
+    } else {
+      ChipDomain bits = PreferredValues(solver, domain, pace_scale);
+      const int pick = static_cast<int>(
+          rng.UniformInt(static_cast<std::uint64_t>(DomainSize(bits))));
+      for (int skip = 0; skip < pick; ++skip) bits &= bits - 1;
+      i = solver.SetDomain(u, 1ULL << __builtin_ctzll(bits));
+    }
+    ++result.set_domain_calls;
+    if (i < 0 || result.set_domain_calls > budget) return result;
+  }
+  MCM_CHECK(solver.AllFixed());
+  result.partition = solver.ExtractPartition();
+  result.success = true;
+  for (int u = 0; u < n; ++u) {
+    if (result.partition.chip(u) == candidate.chip(u)) ++result.nodes_kept;
+  }
+  return result;
+}
+
+SolveResult SolveSampleWithRestarts(CpSolver& solver, const Graph& graph,
+                                    const ProbMatrix& probs, Rng& rng,
+                                    int max_attempts) {
+  SolveResult result;
+  std::int64_t total_calls = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const std::vector<int> order = AlapRandomTopologicalOrder(graph, rng);
+    result = SolveSample(solver, order, probs, rng);
+    total_calls += result.set_domain_calls;
+    if (result.success) break;
+  }
+  result.set_domain_calls = total_calls;
+  return result;
+}
+
+SolveResult SolveFixWithRestarts(CpSolver& solver, const Graph& graph,
+                                 const Partition& candidate, Rng& rng,
+                                 int max_attempts) {
+  SolveResult result;
+  std::int64_t total_calls = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const std::vector<int> order = AlapRandomTopologicalOrder(graph, rng);
+    result = SolveFix(solver, order, candidate, rng);
+    total_calls += result.set_domain_calls;
+    if (result.success) break;
+  }
+  result.set_domain_calls = total_calls;
+  return result;
+}
+
+}  // namespace mcm

@@ -1,0 +1,232 @@
+// Tests for RNG, hashing, statistics, and environment scaling helpers.
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace mcm {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c;
+  }
+  Rng d(42), e(43);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (d.Next() != e.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformIntInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, 1600);
+    EXPECT_LT(count, 2400);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalHasRightMoments) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Normal());
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.Stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, SampleDiscreteFollowsWeights) {
+  Rng rng(11);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 4.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.SampleDiscrete(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 8000.0, 1.0 / 8.0, 0.02);
+  EXPECT_NEAR(counts[1] / 8000.0, 3.0 / 8.0, 0.02);
+  EXPECT_NEAR(counts[3] / 8000.0, 4.0 / 8.0, 0.02);
+}
+
+TEST(RngTest, SampleDiscreteMaskedRespectsMask) {
+  Rng rng(12);
+  const std::vector<double> weights = {5.0, 5.0, 5.0, 5.0};
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t pick = rng.SampleDiscreteMasked(weights, 0b1010);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(RngTest, SampleDiscreteMaskedZeroWeightsFallsBackToUniform) {
+  Rng rng(13);
+  const std::vector<double> weights = {0.0, 0.0, 0.0, 0.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[rng.SampleDiscreteMasked(weights, 0b0110)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_NEAR(counts[1] / 4000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(14);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(15);
+  Rng b = a.Fork();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  const std::vector<std::uint64_t> xs = {1, 2, 3};
+  const std::vector<std::uint64_t> ys = {3, 2, 1};
+  EXPECT_NE(HashSpan(xs), HashSpan(ys));
+  EXPECT_EQ(HashSpan(xs), HashSpan(xs));
+}
+
+TEST(StatsTest, BasicAggregates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);
+  EXPECT_NEAR(Stddev(xs), 1.1180, 1e-3);
+  EXPECT_NEAR(Geomean(xs), 2.2134, 1e-3);
+}
+
+TEST(StatsTest, GeomeanOfEqualValues) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(Geomean(xs), 2.0);
+}
+
+TEST(StatsTest, PearsonPerfectAndInverse) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, zs), -1.0, 1e-12);
+  const std::vector<double> flat = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, flat), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 2.5);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  Rng rng(16);
+  std::vector<double> xs;
+  RunningStats stats;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    xs.push_back(x);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.Mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(stats.Variance(), Variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(stats.Min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(stats.Max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(StatsTest, RunningStatsMergeEqualsConcatenation) {
+  Rng rng(17);
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.UniformDouble();
+    a.Add(x);
+    all.Add(x);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.Normal();
+    b.Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+}
+
+TEST(StatsTest, EmaConverges) {
+  Ema ema(0.9);
+  EXPECT_FALSE(ema.Initialized());
+  for (int i = 0; i < 200; ++i) ema.Add(5.0);
+  EXPECT_TRUE(ema.Initialized());
+  EXPECT_NEAR(ema.Value(), 5.0, 1e-6);
+}
+
+TEST(EnvTest, IntAndDoubleParsing) {
+  ::setenv("MCM_TEST_INT", "123", 1);
+  EXPECT_EQ(GetEnvInt("MCM_TEST_INT", 7), 123);
+  ::setenv("MCM_TEST_INT", "bogus", 1);
+  EXPECT_EQ(GetEnvInt("MCM_TEST_INT", 7), 7);
+  ::unsetenv("MCM_TEST_INT");
+  EXPECT_EQ(GetEnvInt("MCM_TEST_INT", 7), 7);
+  ::setenv("MCM_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MCM_TEST_DBL", 1.0), 2.5);
+  ::unsetenv("MCM_TEST_DBL");
+}
+
+TEST(EnvTest, BenchScale) {
+  ::unsetenv("MCM_BENCH_SCALE");
+  EXPECT_EQ(GetBenchScale(), BenchScale::kQuick);
+  EXPECT_EQ(ScaledInt("MCM_TEST_KNOB", 10, 1000), 10);
+  ::setenv("MCM_BENCH_SCALE", "full", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kFull);
+  EXPECT_EQ(ScaledInt("MCM_TEST_KNOB", 10, 1000), 1000);
+  ::setenv("MCM_TEST_KNOB", "55", 1);
+  EXPECT_EQ(ScaledInt("MCM_TEST_KNOB", 10, 1000), 55);
+  ::unsetenv("MCM_TEST_KNOB");
+  ::unsetenv("MCM_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,117 @@
+// End-to-end integration tests across all modules: the full paper pipeline
+// at miniature scale -- pre-train on small graphs with the analytical model,
+// transfer to an unseen graph, evaluate against the hardware simulator.
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.h"
+#include "graph/generators.h"
+#include "hwsim/hardware_sim.h"
+#include "partition/heuristics.h"
+#include "pipeline/pretrain.h"
+#include "rl/env.h"
+#include "search/search.h"
+
+namespace mcm {
+namespace {
+
+TEST(IntegrationTest, FullPipelineMiniature) {
+  // Split a small corpus subset into train/validation/test.
+  const std::vector<Graph> corpus = MakeCorpus();
+  std::vector<Graph> train, validation, test;
+  for (const Graph& g : corpus) {
+    if (g.NumNodes() >= 120) continue;
+    if (train.size() < 3) {
+      train.push_back(g);
+    } else if (validation.size() < 1) {
+      validation.push_back(g);
+    } else if (test.size() < 1) {
+      test.push_back(g);
+    }
+  }
+  ASSERT_EQ(train.size(), 3u);
+  ASSERT_EQ(test.size(), 1u);
+
+  AnalyticalCostModel analytical{McmConfig{}};
+
+  PretrainConfig config;
+  config.rl = RlConfig::Quick();
+  config.rl.gnn_layers = 2;
+  config.rl.hidden_dim = 16;
+  config.rl.rollouts_per_update = 8;
+  config.rl.epochs = 2;
+  config.rl.minibatches = 2;
+  config.total_samples = 64;
+  config.num_checkpoints = 2;
+  config.validation_zeroshot_samples = 4;
+  config.validation_finetune_samples = 8;
+  config.seed = 21;
+
+  // Training + validation phases.
+  PretrainPipeline pipeline(config, analytical);
+  std::vector<Checkpoint> checkpoints = pipeline.Train(train);
+  ASSERT_FALSE(checkpoints.empty());
+  const int best = pipeline.Validate(checkpoints, validation);
+
+  // Deployment phase on the unseen test graph: zero-shot + fine-tune.
+  const Graph& target = test.front();
+  GraphContext context(target, 36);
+  Rng rng(22);
+  const BaselineResult baseline =
+      ComputeHeuristicBaseline(target, analytical, context.solver(), rng);
+  ASSERT_TRUE(baseline.eval.valid);
+  PartitionEnv env(target, analytical, baseline.eval.runtime_s);
+
+  PolicyNetwork deployed(config.rl);
+  PretrainPipeline::Restore(deployed,
+                            checkpoints[static_cast<std::size_t>(best)]);
+  RlSearch finetune(deployed, Rng(23), /*zero_shot=*/false, "RL Finetuning");
+  const SearchTrace trace = finetune.Run(context, env, 24);
+  EXPECT_EQ(trace.rewards.size(), 24u);
+  EXPECT_GT(trace.BestWithin(24), 0.0);
+}
+
+TEST(IntegrationTest, HardwareSimRejectsSomeAnalyticallyFineBertSamples) {
+  // The dynamic-constraint gap between pre-training (analytical) and
+  // deployment (hardware) that Section 5.4 analyzes.
+  const Graph bert = MakeBert();
+  GraphContext context(bert, 36);
+  AnalyticalCostModel analytical{McmConfig{}};
+  HardwareSim hw;
+  Rng rng(24);
+  const ProbMatrix uniform = ProbMatrix::Uniform(bert.NumNodes(), 36);
+  int analytical_valid = 0, hw_valid = 0;
+  for (int k = 0; k < 25; ++k) {
+    const auto order = AlapRandomTopologicalOrder(bert, rng);
+    const SolveResult r = SolveSample(context.solver(), order, uniform, rng);
+    ASSERT_TRUE(r.success);
+    if (analytical.Evaluate(bert, r.partition).valid) ++analytical_valid;
+    if (hw.Evaluate(bert, r.partition).valid) ++hw_valid;
+  }
+  EXPECT_EQ(analytical_valid, 25);  // No dynamic constraint analytically.
+  EXPECT_LT(hw_valid, 25);          // Hardware rejects some.
+  EXPECT_GT(hw_valid, 12);          // But not most.
+}
+
+TEST(IntegrationTest, SearchStrategiesProduceComparableTracesOnBert) {
+  // A tiny Figure-6-shaped run: all strategies produce valid traces against
+  // the hardware simulator with the production-greedy baseline.
+  const Graph bert = MakeBert();
+  GraphContext context(bert, 36);
+  HardwareSim hw;
+  Rng rng(25);
+  const Partition greedy = GreedyContiguousByParams(bert, 36);
+  const SolveResult repaired =
+      RepairPartition(context.solver(), bert, greedy, rng);
+  ASSERT_TRUE(repaired.success);
+  const EvalResult baseline_eval = hw.Evaluate(bert, repaired.partition);
+  ASSERT_TRUE(baseline_eval.valid);
+  PartitionEnv env(bert, hw, baseline_eval.runtime_s);
+
+  RandomSearch random{Rng(26)};
+  const SearchTrace random_trace = random.Run(context, env, 6);
+  EXPECT_EQ(random_trace.rewards.size(), 6u);
+  EXPECT_GT(random_trace.BestWithin(6), 0.0);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,226 @@
+// Tests for partition validation -- including the paper's Figure 2 examples
+// -- chip loads, metrics, and the compiler heuristics.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "partition/heuristics.h"
+#include "partition/partition.h"
+
+namespace mcm {
+namespace {
+
+// The computation graph of the paper's Figure 2a: five nodes
+//   0 -> 1, 0 -> 2, 1 -> 3, 2 -> 4, 3 -> 4.
+Graph Figure2Graph() {
+  Graph g("fig2");
+  for (int i = 0; i < 5; ++i) {
+    g.AddNode(OpType::kMatMul, "n" + std::to_string(i), 1.0, 1.0);
+  }
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 4);
+  g.AddEdge(3, 4);
+  return g;
+}
+
+Partition Assign(std::vector<int> chips, int num_chips) {
+  Partition p;
+  p.assignment = std::move(chips);
+  p.num_chips = num_chips;
+  return p;
+}
+
+TEST(PartitionTest, CompletenessAndChipsUsed) {
+  Partition p = Partition::Empty(3, 4);
+  EXPECT_FALSE(p.Complete());
+  EXPECT_EQ(p.NumChipsUsed(), 0);
+  p.assignment = {0, 1, 1};
+  EXPECT_TRUE(p.Complete());
+  EXPECT_EQ(p.NumChipsUsed(), 2);
+}
+
+TEST(PartitionTest, Figure2cViolatesAcyclicDataflow) {
+  // Figure 2c: data flows from chip 1 back to chip 0.
+  const Graph g = Figure2Graph();
+  // Node 2 on chip 1, node 4 on chip 0: edge (2,4) goes backward.
+  const Partition p = Assign({0, 0, 1, 1, 0}, 2);
+  EXPECT_FALSE(CheckAcyclicDataflow(g, p));
+  EXPECT_EQ(ValidateStatic(g, p), Violation::kAcyclicDataflow);
+}
+
+TEST(PartitionTest, Figure2dViolatesNoSkippedChips) {
+  // Figure 2d: chip 1 is empty while chip 2 is used.
+  const Graph g = Figure2Graph();
+  const Partition p = Assign({0, 0, 0, 2, 2}, 3);
+  EXPECT_TRUE(CheckAcyclicDataflow(g, p));
+  EXPECT_FALSE(CheckNoSkippedChips(g, p));
+  EXPECT_EQ(ValidateStatic(g, p), Violation::kSkippedChip);
+}
+
+TEST(PartitionTest, Figure2eViolatesTriangleDependency) {
+  // Figure 2e: direct dependency chip0 -> chip2 (node 0 -> node 2) coexists
+  // with the indirect chain chip0 -> chip1 -> chip2 (0 -> 1 -> 3).
+  const Graph g = Figure2Graph();
+  const Partition p = Assign({0, 1, 2, 2, 2}, 3);
+  EXPECT_TRUE(CheckAcyclicDataflow(g, p));
+  EXPECT_TRUE(CheckNoSkippedChips(g, p));
+  EXPECT_FALSE(CheckTriangleDependency(g, p));
+  EXPECT_EQ(ValidateStatic(g, p), Violation::kTriangle);
+}
+
+TEST(PartitionTest, ValidPartitionsPass) {
+  const Graph g = Figure2Graph();
+  EXPECT_EQ(ValidateStatic(g, Assign({0, 0, 0, 0, 0}, 3)), Violation::kNone);
+  EXPECT_EQ(ValidateStatic(g, Assign({0, 0, 0, 1, 1}, 2)), Violation::kNone);
+  EXPECT_EQ(ValidateStatic(g, Assign({0, 1, 1, 1, 1}, 2)), Violation::kNone);
+}
+
+TEST(PartitionTest, IncompleteDetected) {
+  const Graph g = Figure2Graph();
+  Partition p = Partition::Empty(5, 2);
+  EXPECT_EQ(ValidateStatic(g, p), Violation::kIncomplete);
+  p.assignment = {0, 0, 0, 0, 7};  // Out of range.
+  EXPECT_EQ(ValidateStatic(g, p), Violation::kIncomplete);
+}
+
+TEST(PartitionTest, AdjacentChipEdgesAreFine) {
+  // A pure chain over adjacent chips satisfies everything.
+  Graph g("chain");
+  for (int i = 0; i < 6; ++i) g.AddNode(OpType::kRelu, "n", 1, 1);
+  for (int i = 0; i + 1 < 6; ++i) g.AddEdge(i, i + 1);
+  EXPECT_EQ(ValidateStatic(g, Assign({0, 0, 1, 1, 2, 2}, 3)),
+            Violation::kNone);
+  // Skipping a chip in the middle of the chain is a no-skip violation.
+  EXPECT_EQ(ValidateStatic(g, Assign({0, 0, 2, 2, 2, 2}, 3)),
+            Violation::kSkippedChip);
+}
+
+TEST(ChipGraphTest, DependencyAdjacencyAndLongestPaths) {
+  const Graph g = Figure2Graph();
+  const Partition p = Assign({0, 1, 2, 2, 2}, 3);
+  const auto adj = ChipDependencyAdjacency(g, p);
+  EXPECT_TRUE(adj[0] & (1ULL << 1));  // 0 -> 1 via edge (0,1).
+  EXPECT_TRUE(adj[0] & (1ULL << 2));  // 0 -> 2 via edge (0,2).
+  EXPECT_TRUE(adj[1] & (1ULL << 2));  // 1 -> 2 via edge (1,3).
+  const auto delta = ChipLongestPaths(adj, 3);
+  EXPECT_EQ(delta[0][1], 1);
+  EXPECT_EQ(delta[1][2], 1);
+  EXPECT_EQ(delta[0][2], 2);  // The violating longest path.
+}
+
+TEST(ChipGraphTest, IgnoresUnassignedNodes) {
+  const Graph g = Figure2Graph();
+  Partition p = Partition::Empty(5, 3);
+  p.assignment = {0, 1, -1, -1, -1};
+  const auto adj = ChipDependencyAdjacency(g, p);
+  EXPECT_TRUE(adj[0] & (1ULL << 1));
+  EXPECT_FALSE(adj[1] & (1ULL << 2));
+}
+
+TEST(ChipLoadTest, ComputesPerChipResources) {
+  Graph g("loads");
+  g.AddNode(OpType::kMatMul, "a", 10.0, 100.0, 7.0);
+  g.AddNode(OpType::kMatMul, "b", 20.0, 200.0, 0.0);
+  g.AddNode(OpType::kMatMul, "c", 30.0, 300.0, 0.0);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  const Partition p = Assign({0, 0, 1}, 2);
+  const auto loads = ComputeChipLoads(g, p);
+  EXPECT_DOUBLE_EQ(loads[0].compute_flops, 30.0);
+  EXPECT_DOUBLE_EQ(loads[0].param_bytes, 7.0);
+  EXPECT_EQ(loads[0].num_nodes, 2);
+  // Cross-chip traffic: a -> c (100 bytes) and b -> c (200 bytes).
+  EXPECT_DOUBLE_EQ(loads[0].bytes_out, 300.0);
+  EXPECT_DOUBLE_EQ(loads[1].bytes_in, 300.0);
+}
+
+TEST(ChipLoadTest, MulticonsumerSendsOncePerRemoteChip) {
+  Graph g("fanout");
+  g.AddNode(OpType::kMatMul, "src", 1.0, 50.0);
+  g.AddNode(OpType::kRelu, "c1", 1.0, 1.0);
+  g.AddNode(OpType::kRelu, "c2", 1.0, 1.0);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  // Both consumers on the same remote chip: one transfer, not two.
+  const auto loads = ComputeChipLoads(g, Assign({0, 1, 1}, 2));
+  EXPECT_DOUBLE_EQ(loads[0].bytes_out, 50.0);
+}
+
+TEST(MetricsTest, ImbalanceAndCuts) {
+  Graph g("m");
+  g.AddNode(OpType::kMatMul, "a", 30.0, 10.0);
+  g.AddNode(OpType::kMatMul, "b", 10.0, 10.0);
+  g.AddEdge(0, 1);
+  const auto metrics = ComputePartitionMetrics(g, Assign({0, 1}, 2));
+  EXPECT_EQ(metrics.chips_used, 2);
+  EXPECT_DOUBLE_EQ(metrics.max_chip_flops, 30.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_chip_flops, 20.0);
+  EXPECT_DOUBLE_EQ(metrics.compute_imbalance, 1.5);
+  EXPECT_EQ(metrics.cut_edges, 1);
+  EXPECT_DOUBLE_EQ(metrics.total_cut_bytes, 10.0);
+}
+
+// ---- Heuristics ------------------------------------------------------------
+
+class HeuristicsOnCorpusTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicsOnCorpusTest, ContiguousCandidatesRespectMonotonicity) {
+  const std::vector<Graph> corpus = MakeCorpus();
+  const Graph& g = corpus[static_cast<std::size_t>(GetParam())];
+  for (const Partition& p :
+       {GreedyContiguousByCount(g, 36), GreedyContiguousByCost(g, 36),
+        GreedyContiguousByParams(g, 36)}) {
+    EXPECT_TRUE(p.Complete());
+    // Contiguous topological intervals always satisfy Eq. (2) and Eq. (3).
+    EXPECT_TRUE(CheckAcyclicDataflow(g, p)) << g.name();
+    EXPECT_TRUE(CheckNoSkippedChips(g, p)) << g.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CorpusSample, HeuristicsOnCorpusTest,
+                         ::testing::Values(0, 7, 19, 33, 47, 61, 72, 80, 86));
+
+TEST(HeuristicsTest, GreedyByCostBalancesBetterThanByCount) {
+  // A chain whose cost is concentrated in the first few nodes.
+  Graph g("skewed");
+  for (int i = 0; i < 20; ++i) {
+    g.AddNode(OpType::kMatMul, "n", i < 4 ? 100.0 : 1.0, 1.0);
+    if (i > 0) g.AddEdge(i - 1, i);
+  }
+  const auto by_count = ComputePartitionMetrics(g, GreedyContiguousByCount(g, 4));
+  const auto by_cost = ComputePartitionMetrics(g, GreedyContiguousByCost(g, 4));
+  EXPECT_LT(by_cost.compute_imbalance, by_count.compute_imbalance);
+}
+
+TEST(HeuristicsTest, GreedyUsesAllChipsWhenPossible) {
+  const Graph g = MakeMlp("m", 64, {64, 64, 64, 64, 64, 64}, 10);
+  const Partition p = GreedyContiguousByCount(g, 8);
+  EXPECT_EQ(ComputePartitionMetrics(g, p).chips_used, 8);
+}
+
+TEST(HeuristicsTest, GreedyHandlesFewerNodesThanChips) {
+  Graph g("tiny");
+  g.AddNode(OpType::kInput, "a", 1, 1);
+  g.AddNode(OpType::kOutput, "b", 1, 1);
+  g.AddEdge(0, 1);
+  const Partition p = GreedyContiguousByCount(g, 36);
+  EXPECT_TRUE(p.Complete());
+  EXPECT_LE(p.NumChipsUsed(), 2);
+  EXPECT_EQ(ValidateStatic(g, p), Violation::kNone);
+}
+
+TEST(HeuristicsTest, RandomContiguousIsMonotoneAndDeterministicPerSeed) {
+  const Graph g = MakeMlp("m", 64, {64, 64, 64}, 10);
+  Rng rng1(5), rng2(5);
+  const Partition p1 = RandomContiguousPartition(g, 8, rng1);
+  const Partition p2 = RandomContiguousPartition(g, 8, rng2);
+  EXPECT_EQ(p1, p2);
+  EXPECT_TRUE(CheckAcyclicDataflow(g, p1));
+  EXPECT_TRUE(CheckNoSkippedChips(g, p1));
+}
+
+}  // namespace
+}  // namespace mcm

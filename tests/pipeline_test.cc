@@ -1,0 +1,110 @@
+// Tests for the pre-training pipeline (training worker, validation worker,
+// checkpoint restore).
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.h"
+#include "graph/generators.h"
+#include "pipeline/pretrain.h"
+
+namespace mcm {
+namespace {
+
+PretrainConfig TinyPretrain() {
+  PretrainConfig config;
+  config.rl = RlConfig::Quick();
+  config.rl.gnn_layers = 2;
+  config.rl.hidden_dim = 16;
+  config.rl.rollouts_per_update = 6;
+  config.rl.epochs = 2;
+  config.rl.minibatches = 2;
+  config.total_samples = 48;
+  config.num_checkpoints = 4;
+  config.validation_zeroshot_samples = 4;
+  config.validation_finetune_samples = 6;
+  config.seed = 11;
+  return config;
+}
+
+std::vector<Graph> SmallGraphs(int count) {
+  std::vector<Graph> graphs;
+  const std::vector<Graph> corpus = MakeCorpus();
+  for (const Graph& g : corpus) {
+    if (g.NumNodes() < 80 && static_cast<int>(graphs.size()) < count) {
+      graphs.push_back(g);
+    }
+  }
+  return graphs;
+}
+
+TEST(BuildGraphTasksTest, ProducesEnvsWithValidBaselines) {
+  AnalyticalCostModel model{McmConfig{}};
+  const std::vector<Graph> graphs = SmallGraphs(3);
+  const std::vector<GraphTask> tasks = BuildGraphTasks(graphs, model, 36, 1);
+  ASSERT_EQ(tasks.size(), 3u);
+  for (const GraphTask& task : tasks) {
+    EXPECT_GT(task.baseline_runtime_s, 0.0);
+    EXPECT_NE(task.context, nullptr);
+    EXPECT_NE(task.env, nullptr);
+  }
+}
+
+TEST(PretrainPipelineTest, TrainEmitsCheckpoints) {
+  AnalyticalCostModel model{McmConfig{}};
+  PretrainPipeline pipeline(TinyPretrain(), model);
+  const std::vector<Checkpoint> checkpoints =
+      pipeline.Train(SmallGraphs(3));
+  ASSERT_GE(checkpoints.size(), 3u);
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    EXPECT_EQ(checkpoints[i].id, static_cast<int>(i));
+    EXPECT_FALSE(checkpoints[i].params.empty());
+    if (i > 0) {
+      EXPECT_GE(checkpoints[i].samples_seen,
+                checkpoints[i - 1].samples_seen);
+    }
+  }
+}
+
+TEST(PretrainPipelineTest, CheckpointsDifferAcrossTraining) {
+  AnalyticalCostModel model{McmConfig{}};
+  PretrainPipeline pipeline(TinyPretrain(), model);
+  const std::vector<Checkpoint> checkpoints =
+      pipeline.Train(SmallGraphs(2));
+  ASSERT_GE(checkpoints.size(), 2u);
+  bool changed = false;
+  const auto& first = checkpoints.front().params;
+  const auto& last = checkpoints.back().params;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    if (first[i].data != last[i].data) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(PretrainPipelineTest, RestoreReproducesCheckpointBehavior) {
+  AnalyticalCostModel model{McmConfig{}};
+  const PretrainConfig config = TinyPretrain();
+  PretrainPipeline pipeline(config, model);
+  const std::vector<Checkpoint> checkpoints =
+      pipeline.Train(SmallGraphs(2));
+  PolicyNetwork restored(config.rl);
+  PretrainPipeline::Restore(restored, checkpoints.back());
+  const std::vector<Matrix> restored_params =
+      SnapshotParams(restored.Params());
+  for (std::size_t i = 0; i < restored_params.size(); ++i) {
+    EXPECT_EQ(restored_params[i].data, checkpoints.back().params[i].data);
+  }
+}
+
+TEST(PretrainPipelineTest, ValidatePicksACheckpoint) {
+  AnalyticalCostModel model{McmConfig{}};
+  PretrainPipeline pipeline(TinyPretrain(), model);
+  std::vector<Checkpoint> checkpoints = pipeline.Train(SmallGraphs(2));
+  const int best =
+      pipeline.Validate(checkpoints, SmallGraphs(1));
+  ASSERT_GE(best, 0);
+  ASSERT_LT(best, static_cast<int>(checkpoints.size()));
+  EXPECT_TRUE(checkpoints[static_cast<std::size_t>(best)].validated);
+  EXPECT_GE(checkpoints[static_cast<std::size_t>(best)].finetune_score, 0.0);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,120 @@
+// Tests for the search strategies and their traces.
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.h"
+#include "graph/generators.h"
+#include "rl/env.h"
+#include "search/search.h"
+
+namespace mcm {
+namespace {
+
+struct Fixture {
+  std::vector<Graph> corpus = MakeCorpus();
+  const Graph& graph() { return corpus[30]; }
+  AnalyticalCostModel model{McmConfig{}};
+  GraphContext context{graph(), 36};
+  double baseline_runtime;
+  PartitionEnv env;
+
+  Fixture()
+      : baseline_runtime([this] {
+          Rng rng(1);
+          return ComputeHeuristicBaseline(graph(), model, context.solver(),
+                                          rng)
+              .eval.runtime_s;
+        }()),
+        env(graph(), model, baseline_runtime) {}
+};
+
+TEST(SearchTraceTest, BestSoFarAndThresholds) {
+  SearchTrace trace;
+  trace.rewards = {0.5, 0.2, 1.1, 0.9, 1.4};
+  EXPECT_DOUBLE_EQ(trace.BestWithin(2), 0.5);
+  EXPECT_DOUBLE_EQ(trace.BestWithin(3), 1.1);
+  EXPECT_DOUBLE_EQ(trace.BestWithin(100), 1.4);
+  const std::vector<double> curve = trace.BestSoFar();
+  EXPECT_EQ(curve, (std::vector<double>{0.5, 0.5, 1.1, 1.1, 1.4}));
+  EXPECT_EQ(trace.SamplesToReach(1.0).value(), 3u);
+  EXPECT_EQ(trace.SamplesToReach(1.4).value(), 5u);
+  EXPECT_FALSE(trace.SamplesToReach(2.0).has_value());
+}
+
+TEST(RandomSearchTest, ProducesValidRewardsAndExactBudget) {
+  Fixture f;
+  RandomSearch search{Rng(2)};
+  const SearchTrace trace = search.Run(f.context, f.env, 40);
+  EXPECT_EQ(trace.rewards.size(), 40u);
+  EXPECT_EQ(trace.strategy, "Random");
+  int positive = 0;
+  for (double r : trace.rewards) {
+    EXPECT_GE(r, 0.0);
+    if (r > 0.0) ++positive;
+  }
+  // The analytical model enforces no dynamic constraint, so nearly every
+  // solver-corrected sample earns a positive reward.
+  EXPECT_GE(positive, 38);
+}
+
+TEST(RandomSearchTest, DeterministicPerSeed) {
+  Fixture f1, f2;
+  RandomSearch s1{Rng(3)}, s2{Rng(3)};
+  const SearchTrace t1 = s1.Run(f1.context, f1.env, 10);
+  const SearchTrace t2 = s2.Run(f2.context, f2.env, 10);
+  EXPECT_EQ(t1.rewards, t2.rewards);
+}
+
+TEST(SimulatedAnnealingTest, RunsAndImprovesOverFirstSample) {
+  Fixture f;
+  SimulatedAnnealing search{Rng(4)};
+  const SearchTrace trace = search.Run(f.context, f.env, 60);
+  EXPECT_EQ(trace.rewards.size(), 60u);
+  EXPECT_GE(trace.BestWithin(60), trace.rewards.front());
+}
+
+TEST(RlSearchTest, TracksBudgetAndImproves) {
+  Fixture f;
+  RlConfig config = RlConfig::Quick();
+  config.rollouts_per_update = 10;
+  config.seed = 7;
+  PolicyNetwork policy(config);
+  RlSearch search(policy, Rng(5));
+  const SearchTrace trace = search.Run(f.context, f.env, 30);
+  EXPECT_EQ(trace.rewards.size(), 30u);
+  EXPECT_EQ(trace.strategy, "RL");
+}
+
+TEST(RlSearchTest, ZeroShotDoesNotTrain) {
+  Fixture f;
+  RlConfig config = RlConfig::Quick();
+  config.rollouts_per_update = 5;
+  config.seed = 8;
+  PolicyNetwork policy(config);
+  const std::vector<Matrix> before = SnapshotParams(policy.Params());
+  RlSearch search(policy, Rng(6), /*zero_shot=*/true, "RL Zeroshot");
+  const SearchTrace trace = search.Run(f.context, f.env, 15);
+  EXPECT_EQ(trace.rewards.size(), 15u);
+  EXPECT_EQ(trace.strategy, "RL Zeroshot");
+  const std::vector<Matrix> after = SnapshotParams(policy.Params());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].data, after[i].data);
+  }
+}
+
+TEST(NoSolverRlTest, FindsNoValidPartition) {
+  // Table 1 / Section 5.1: without the constraint solver the reward space
+  // is so sparse that RL never sees a valid sample.
+  Fixture f;
+  RlConfig config = RlConfig::Quick();
+  config.solver_mode = RlConfig::SolverMode::kNone;
+  config.rollouts_per_update = 10;
+  config.seed = 9;
+  PolicyNetwork policy(config);
+  NoSolverRlSearch search(policy, Rng(7));
+  const SearchTrace trace = search.Run(f.context, f.env, 40);
+  EXPECT_EQ(trace.rewards.size(), 40u);
+  EXPECT_DOUBLE_EQ(trace.BestWithin(40), 0.0);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,189 @@
+// mcmpart command-line tool: generate model graphs, inspect them, and
+// partition them onto an MCM package from the shell.
+//
+// Usage:
+//   mcmpart generate <family> <out.graph>     families: mlp cnn resnet
+//                                             inception rnn lstm seq2seq bert
+//   mcmpart info <in.graph>                   node/edge/resource summary
+//   mcmpart dot <in.graph> <out.dot>          Graphviz export
+//   mcmpart partition <in.graph> [options]    search for a partition
+//     --chips N        chiplets in the package            (default 36)
+//     --budget B       evaluation budget                  (default 200)
+//     --method M       random | sa | rl                   (default random)
+//     --model M        analytical | hwsim                 (default analytical)
+//     --objective O    throughput | latency               (default throughput)
+//     --seed S         RNG seed                           (default 1)
+//     --out FILE       write "node chip" lines of the best partition
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "costmodel/cost_model.h"
+#include "graph/generators.h"
+#include "hwsim/hardware_sim.h"
+#include "rl/env.h"
+#include "search/search.h"
+
+namespace {
+
+using namespace mcm;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mcmpart generate <family> <out.graph>\n"
+               "       mcmpart info <in.graph>\n"
+               "       mcmpart dot <in.graph> <out.dot>\n"
+               "       mcmpart partition <in.graph> [--chips N] [--budget B]"
+               " [--method random|sa|rl] [--model analytical|hwsim]"
+               " [--objective throughput|latency] [--seed S] [--out FILE]\n");
+  return 2;
+}
+
+Graph GenerateFamily(const std::string& family) {
+  if (family == "mlp") return MakeMlp("mlp", 256, {512, 512, 256}, 100);
+  if (family == "cnn") return MakeCnn("cnn", CnnConfig{});
+  if (family == "resnet") return MakeResNet("resnet", ResNetConfig{});
+  if (family == "inception") return MakeInception("inception", InceptionConfig{});
+  if (family == "rnn") return MakeRnn("rnn", 24, 128, 256, 100);
+  if (family == "lstm") return MakeLstm("lstm", 12, 128, 256, 100);
+  if (family == "seq2seq") return MakeSeq2Seq("seq2seq", 8, 8, 128, 256, 1000);
+  if (family == "bert") return MakeBert();
+  throw std::runtime_error("unknown family: " + family);
+}
+
+Graph LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return Graph::Deserialize(in);
+}
+
+int RunPartition(const Graph& graph, int argc, char** argv) {
+  int chips = 36;
+  int budget = 200;
+  std::string method = "random";
+  std::string model_name = "analytical";
+  std::string objective_name = "throughput";
+  std::uint64_t seed = 1;
+  std::string out_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--chips") chips = std::stoi(next());
+    else if (arg == "--budget") budget = std::stoi(next());
+    else if (arg == "--method") method = next();
+    else if (arg == "--model") model_name = next();
+    else if (arg == "--objective") objective_name = next();
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--out") out_path = next();
+    else throw std::runtime_error("unknown option: " + arg);
+  }
+
+  std::unique_ptr<CostModel> model;
+  if (model_name == "analytical") {
+    model = std::make_unique<AnalyticalCostModel>(McmConfig{});
+  } else if (model_name == "hwsim") {
+    model = std::make_unique<HardwareSim>();
+  } else {
+    throw std::runtime_error("unknown model: " + model_name);
+  }
+  const PartitionEnv::Objective objective =
+      objective_name == "latency" ? PartitionEnv::Objective::kLatency
+                                  : PartitionEnv::Objective::kThroughput;
+
+  GraphContext context(graph, chips);
+  Rng rng(seed);
+  const BaselineResult baseline =
+      ComputeHeuristicBaseline(graph, *model, context.solver(), rng);
+  if (!baseline.eval.valid) {
+    throw std::runtime_error("heuristic baseline invalid on this model");
+  }
+  const double anchor = objective == PartitionEnv::Objective::kLatency
+                            ? baseline.eval.latency_s
+                            : baseline.eval.runtime_s;
+  PartitionEnv env(graph, *model, anchor, objective);
+  std::printf("baseline (%s, %s): %.4f ms\n", model_name.c_str(),
+              objective_name.c_str(), anchor * 1e3);
+
+  std::unique_ptr<SearchStrategy> search;
+  std::unique_ptr<PolicyNetwork> policy;  // Owns RL policy when used.
+  if (method == "random") {
+    search = std::make_unique<RandomSearch>(Rng(seed + 1));
+  } else if (method == "sa") {
+    search = std::make_unique<SimulatedAnnealing>(Rng(seed + 1));
+  } else if (method == "rl") {
+    RlConfig config = RlConfig::Quick();
+    config.num_chips = chips;
+    config.seed = seed + 2;
+    policy = std::make_unique<PolicyNetwork>(config);
+    search = std::make_unique<RlSearch>(*policy, Rng(seed + 1));
+  } else {
+    throw std::runtime_error("unknown method: " + method);
+  }
+
+  const SearchTrace trace = search->Run(context, env, budget);
+  std::printf("%s: best improvement %.4fx after %d evaluations\n",
+              search->name().c_str(),
+              trace.BestWithin(static_cast<std::size_t>(budget)), budget);
+
+  const Partition& best =
+      env.has_best() ? env.best_partition() : baseline.partition;
+  std::printf("%s", DescribePartition(graph, best).c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot open " + out_path);
+    SavePartition(best, out);
+    std::printf("wrote best partition to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate" && argc == 4) {
+      const Graph graph = GenerateFamily(argv[2]);
+      std::ofstream out(argv[3]);
+      if (!out) throw std::runtime_error(std::string("cannot open ") + argv[3]);
+      graph.Serialize(out);
+      std::printf("wrote %s: %d nodes, %d edges\n", argv[3], graph.NumNodes(),
+                  graph.NumEdges());
+      return 0;
+    }
+    if (command == "info" && argc == 3) {
+      const Graph graph = LoadGraph(argv[2]);
+      std::printf("name:        %s\n", graph.name().c_str());
+      std::printf("nodes/edges: %d / %d\n", graph.NumNodes(), graph.NumEdges());
+      std::printf("compute:     %.3f GFLOPs\n", graph.TotalFlops() / 1e9);
+      std::printf("weights:     %.1f MB\n", graph.TotalParamBytes() / 1e6);
+      std::printf("activations: %.1f MB total\n",
+                  graph.TotalOutputBytes() / 1e6);
+      std::printf("depth:       %d\n", graph.CriticalPathLength());
+      return 0;
+    }
+    if (command == "dot" && argc == 4) {
+      const Graph graph = LoadGraph(argv[2]);
+      std::ofstream out(argv[3]);
+      if (!out) throw std::runtime_error(std::string("cannot open ") + argv[3]);
+      graph.WriteDot(out);
+      std::printf("wrote %s\n", argv[3]);
+      return 0;
+    }
+    if (command == "partition" && argc >= 3) {
+      const Graph graph = LoadGraph(argv[2]);
+      return RunPartition(graph, argc - 3, argv + 3);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
