@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fix_vs_sample.dir/ablation_fix_vs_sample.cc.o"
+  "CMakeFiles/ablation_fix_vs_sample.dir/ablation_fix_vs_sample.cc.o.d"
+  "ablation_fix_vs_sample"
+  "ablation_fix_vs_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fix_vs_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fix_vs_sample.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_no_solver.dir/ablation_no_solver.cc.o"
+  "CMakeFiles/ablation_no_solver.dir/ablation_no_solver.cc.o.d"
+  "ablation_no_solver"
+  "ablation_no_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_no_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

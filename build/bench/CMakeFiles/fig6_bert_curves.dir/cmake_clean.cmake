@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bert_curves.dir/fig6_bert_curves.cc.o"
+  "CMakeFiles/fig6_bert_curves.dir/fig6_bert_curves.cc.o.d"
+  "fig6_bert_curves"
+  "fig6_bert_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bert_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

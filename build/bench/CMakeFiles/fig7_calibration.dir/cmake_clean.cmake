@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_calibration.dir/fig7_calibration.cc.o"
+  "CMakeFiles/fig7_calibration.dir/fig7_calibration.cc.o.d"
+  "fig7_calibration"
+  "fig7_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

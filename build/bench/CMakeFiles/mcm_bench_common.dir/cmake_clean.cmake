@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/mcm_bench_common.dir/bench_common.cc.o.d"
+  "libmcm_bench_common.a"
+  "libmcm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sample_reduction.dir/table2_sample_reduction.cc.o"
+  "CMakeFiles/table2_sample_reduction.dir/table2_sample_reduction.cc.o.d"
+  "table2_sample_reduction"
+  "table2_sample_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sample_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bert_samples.dir/table3_bert_samples.cc.o"
+  "CMakeFiles/table3_bert_samples.dir/table3_bert_samples.cc.o.d"
+  "table3_bert_samples"
+  "table3_bert_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bert_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_bert.dir/partition_bert.cpp.o"
+  "CMakeFiles/partition_bert.dir/partition_bert.cpp.o.d"
+  "partition_bert"
+  "partition_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pretrain_and_finetune.cpp" "examples/CMakeFiles/pretrain_and_finetune.dir/pretrain_and_finetune.cpp.o" "gcc" "examples/CMakeFiles/pretrain_and_finetune.dir/pretrain_and_finetune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/mcm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/mcm_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mcm_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/mcm_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/mcm_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mcm_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mcm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrain_and_finetune.dir/pretrain_and_finetune.cpp.o"
+  "CMakeFiles/pretrain_and_finetune.dir/pretrain_and_finetune.cpp.o.d"
+  "pretrain_and_finetune"
+  "pretrain_and_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrain_and_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pretrain_and_finetune.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_playground.dir/solver_playground.cpp.o"
+  "CMakeFiles/solver_playground.dir/solver_playground.cpp.o.d"
+  "solver_playground"
+  "solver_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

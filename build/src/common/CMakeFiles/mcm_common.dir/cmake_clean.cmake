@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_common.dir/env.cc.o"
+  "CMakeFiles/mcm_common.dir/env.cc.o.d"
+  "CMakeFiles/mcm_common.dir/logging.cc.o"
+  "CMakeFiles/mcm_common.dir/logging.cc.o.d"
+  "CMakeFiles/mcm_common.dir/rng.cc.o"
+  "CMakeFiles/mcm_common.dir/rng.cc.o.d"
+  "CMakeFiles/mcm_common.dir/stats.cc.o"
+  "CMakeFiles/mcm_common.dir/stats.cc.o.d"
+  "libmcm_common.a"
+  "libmcm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

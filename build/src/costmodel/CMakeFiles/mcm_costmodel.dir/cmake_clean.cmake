@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_costmodel.dir/cost_model.cc.o"
+  "CMakeFiles/mcm_costmodel.dir/cost_model.cc.o.d"
+  "libmcm_costmodel.a"
+  "libmcm_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

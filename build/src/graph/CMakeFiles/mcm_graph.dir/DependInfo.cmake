@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/features.cc" "src/graph/CMakeFiles/mcm_graph.dir/features.cc.o" "gcc" "src/graph/CMakeFiles/mcm_graph.dir/features.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/mcm_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/mcm_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/mcm_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/mcm_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/graph/CMakeFiles/mcm_graph.dir/serialization.cc.o" "gcc" "src/graph/CMakeFiles/mcm_graph.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

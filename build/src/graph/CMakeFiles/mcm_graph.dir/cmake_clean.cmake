@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_graph.dir/features.cc.o"
+  "CMakeFiles/mcm_graph.dir/features.cc.o.d"
+  "CMakeFiles/mcm_graph.dir/generators.cc.o"
+  "CMakeFiles/mcm_graph.dir/generators.cc.o.d"
+  "CMakeFiles/mcm_graph.dir/graph.cc.o"
+  "CMakeFiles/mcm_graph.dir/graph.cc.o.d"
+  "CMakeFiles/mcm_graph.dir/serialization.cc.o"
+  "CMakeFiles/mcm_graph.dir/serialization.cc.o.d"
+  "libmcm_graph.a"
+  "libmcm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_hwsim.dir/hardware_sim.cc.o"
+  "CMakeFiles/mcm_hwsim.dir/hardware_sim.cc.o.d"
+  "libmcm_hwsim.a"
+  "libmcm_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_nn.dir/matrix.cc.o"
+  "CMakeFiles/mcm_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/mcm_nn.dir/modules.cc.o"
+  "CMakeFiles/mcm_nn.dir/modules.cc.o.d"
+  "CMakeFiles/mcm_nn.dir/tape.cc.o"
+  "CMakeFiles/mcm_nn.dir/tape.cc.o.d"
+  "libmcm_nn.a"
+  "libmcm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_partition.dir/heuristics.cc.o"
+  "CMakeFiles/mcm_partition.dir/heuristics.cc.o.d"
+  "CMakeFiles/mcm_partition.dir/partition.cc.o"
+  "CMakeFiles/mcm_partition.dir/partition.cc.o.d"
+  "libmcm_partition.a"
+  "libmcm_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_pipeline.dir/pretrain.cc.o"
+  "CMakeFiles/mcm_pipeline.dir/pretrain.cc.o.d"
+  "libmcm_pipeline.a"
+  "libmcm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

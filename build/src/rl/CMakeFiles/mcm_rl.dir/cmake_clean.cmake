@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_rl.dir/env.cc.o"
+  "CMakeFiles/mcm_rl.dir/env.cc.o.d"
+  "CMakeFiles/mcm_rl.dir/policy.cc.o"
+  "CMakeFiles/mcm_rl.dir/policy.cc.o.d"
+  "CMakeFiles/mcm_rl.dir/ppo.cc.o"
+  "CMakeFiles/mcm_rl.dir/ppo.cc.o.d"
+  "libmcm_rl.a"
+  "libmcm_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_search.dir/search.cc.o"
+  "CMakeFiles/mcm_search.dir/search.cc.o.d"
+  "libmcm_search.a"
+  "libmcm_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

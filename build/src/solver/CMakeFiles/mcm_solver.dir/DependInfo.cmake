@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/cp_solver.cc" "src/solver/CMakeFiles/mcm_solver.dir/cp_solver.cc.o" "gcc" "src/solver/CMakeFiles/mcm_solver.dir/cp_solver.cc.o.d"
+  "/root/repo/src/solver/modes.cc" "src/solver/CMakeFiles/mcm_solver.dir/modes.cc.o" "gcc" "src/solver/CMakeFiles/mcm_solver.dir/modes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/mcm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_solver.dir/cp_solver.cc.o"
+  "CMakeFiles/mcm_solver.dir/cp_solver.cc.o.d"
+  "CMakeFiles/mcm_solver.dir/modes.cc.o"
+  "CMakeFiles/mcm_solver.dir/modes.cc.o.d"
+  "libmcm_solver.a"
+  "libmcm_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

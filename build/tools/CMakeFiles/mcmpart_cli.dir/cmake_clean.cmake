@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcmpart_cli.dir/mcmpart_cli.cc.o"
+  "CMakeFiles/mcmpart_cli.dir/mcmpart_cli.cc.o.d"
+  "mcmpart"
+  "mcmpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcmpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
