@@ -9,8 +9,10 @@
 #include "graph/generators.h"
 #include "rl/env.h"
 #include "search/search.h"
+#include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm;
   const int budget =
       static_cast<int>(ScaledInt("MCM_ABLATION_BUDGET", 100, 1500));

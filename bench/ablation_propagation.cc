@@ -10,6 +10,7 @@
 #include "graph/generators.h"
 #include "solver/cp_solver.h"
 #include "solver/modes.h"
+#include "bench_common.h"
 
 namespace {
 
@@ -45,7 +46,8 @@ void RunCase(const Graph& graph, const Setting& setting, int solves) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm;
   std::printf("=== Ablation: solver propagation strength (uniform SAMPLE "
               "solves) ===\n");

@@ -12,6 +12,7 @@
 #include "hwsim/hardware_sim.h"
 #include "partition/heuristics.h"
 #include "rl/env.h"
+#include "runtime/thread_pool.h"
 
 namespace mcm::bench {
 namespace {
@@ -115,6 +116,18 @@ Checkpoint Pretrain(const BenchScaleConfig& config, std::uint64_t seed,
 }
 
 }  // namespace
+
+void InitBenchRuntime(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      SetDefaultThreadCount(std::stoi(argv[i + 1]));
+      ++i;
+    }
+  }
+  std::printf("# runtime: %d worker threads (override with --threads N or "
+              "MCMPART_THREADS)\n",
+              DefaultThreadCount());
+}
 
 BenchScaleConfig BenchScaleConfig::FromEnv() {
   BenchScaleConfig config;

@@ -25,6 +25,13 @@ inline constexpr const char* kMethodNames[] = {
     "Random", "SA", "RL", "RL Zeroshot", "RL Finetuning"};
 inline constexpr int kNumMethods = 5;
 
+// Parses runtime flags shared by every bench binary (currently `--threads
+// N`, falling back to the MCMPART_THREADS env var, else hardware
+// concurrency) and configures the worker pool.  Prints the effective thread
+// count so bench logs are self-describing.  Results are bit-identical for
+// any thread count; only wall-clock changes.
+void InitBenchRuntime(int argc, char** argv);
+
 struct BenchScaleConfig {
   // Pre-training phase.
   int pretrain_graphs;     // Training-set graphs used (paper: 66).

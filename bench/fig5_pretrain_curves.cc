@@ -8,7 +8,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm::bench;
   std::printf("=== Figure 5: geomean throughput improvement on the test set "
               "(analytical cost model) ===\n");

@@ -5,7 +5,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm::bench;
   std::printf("=== Figure 6: BERT throughput improvement over the greedy "
               "heuristic (hardware simulator) ===\n");

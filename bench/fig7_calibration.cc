@@ -16,8 +16,10 @@
 #include "graph/generators.h"
 #include "hwsim/hardware_sim.h"
 #include "solver/modes.h"
+#include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm;
   const int samples =
       static_cast<int>(ScaledInt("MCM_CALIBRATION_SAMPLES", 300, 2000));

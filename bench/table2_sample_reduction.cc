@@ -10,7 +10,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm::bench;
   std::printf("=== Table 2: samples to reach geomean improvement levels "
               "(test set, analytical model) ===\n");

@@ -12,7 +12,8 @@ namespace {
 constexpr double kSecondsPerHardwareSample = 26.97;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm::bench;
   std::printf("=== Table 3: samples to reach BERT improvement levels "
               "(hardware simulator) ===\n");

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Local pre-merge gate: build + test the Release tree, then rebuild with
+# ThreadSanitizer and re-run the test suite so data races in the runtime/
+# worker pool (and anything scheduled on it) are caught before review.
+#
+# Usage: scripts/check.sh [--release-only|--tsan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_release=1
+run_tsan=1
+case "${1:-}" in
+  --release-only) run_tsan=0 ;;
+  --tsan-only) run_release=0 ;;
+  "") ;;
+  *) echo "usage: scripts/check.sh [--release-only|--tsan-only]" >&2; exit 2 ;;
+esac
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [ "${run_release}" = 1 ]; then
+  echo "== Release build + ctest =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"${jobs}"
+  ctest --test-dir build --output-on-failure -j"${jobs}"
+fi
+
+if [ "${run_tsan}" = 1 ]; then
+  echo "== ThreadSanitizer build + ctest =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCMPART_TSAN=ON
+  cmake --build build-tsan -j"${jobs}"
+  # TSan slows execution ~5-15x; run the suite with multiple worker threads
+  # so the parallel code paths are actually exercised under the sanitizer.
+  MCMPART_THREADS="${MCMPART_THREADS:-4}" \
+    ctest --test-dir build-tsan --output-on-failure -j2
+fi
+
+echo "== check.sh: all green =="

@@ -76,6 +76,13 @@ class CostModel {
   // statically invalid partitions (returning kStaticConstraint) so that the
   // "RL without constraint solver" baseline observes zero reward exactly as
   // in the paper.
+  //
+  // Thread safety: Evaluate is called concurrently from the parallel
+  // rollout/validation paths (see runtime/thread_pool.h), so
+  // implementations must be stateless with respect to Evaluate -- pure
+  // functions of (graph, partition) and construction-time options.  Both
+  // bundled models (analytical, hwsim) satisfy this; hwsim's measurement
+  // noise is a stateless hash of (graph, partition).
   virtual EvalResult Evaluate(const Graph& graph,
                               const Partition& partition) = 0;
 

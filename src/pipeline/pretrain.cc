@@ -7,30 +7,42 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "runtime/thread_pool.h"
 
 namespace mcm {
 
 std::vector<GraphTask> BuildGraphTasks(const std::vector<Graph>& graphs,
                                        CostModel& model, int num_chips,
                                        std::uint64_t seed) {
+  // Fan-out: context construction (feature extraction + solver setup) and
+  // the heuristic baseline are independent per graph.  Each task gets a
+  // substream of `seed`; baselines repair through the task's own solver.
+  std::vector<GraphTask> built(graphs.size());
+  std::vector<char> valid(graphs.size(), 0);
+  ParallelFor(0, static_cast<std::int64_t>(graphs.size()),
+              [&](std::int64_t gi) {
+                const Graph& graph = graphs[static_cast<std::size_t>(gi)];
+                GraphTask& task = built[static_cast<std::size_t>(gi)];
+                task.graph = &graph;
+                task.context = std::make_unique<GraphContext>(graph, num_chips);
+                Rng rng(HashCombine(seed, static_cast<std::uint64_t>(gi)));
+                BaselineResult baseline = ComputeHeuristicBaseline(
+                    graph, model, task.context->solver(), rng);
+                if (!baseline.eval.valid) return;
+                task.baseline_runtime_s = baseline.eval.runtime_s;
+                task.env = std::make_unique<PartitionEnv>(
+                    graph, model, task.baseline_runtime_s);
+                valid[static_cast<std::size_t>(gi)] = 1;
+              });
   std::vector<GraphTask> tasks;
   tasks.reserve(graphs.size());
-  Rng rng(seed);
-  for (const Graph& graph : graphs) {
-    GraphTask task;
-    task.graph = &graph;
-    task.context = std::make_unique<GraphContext>(graph, num_chips);
-    BaselineResult baseline =
-        ComputeHeuristicBaseline(graph, model, task.context->solver(), rng);
-    if (!baseline.eval.valid) {
-      MCM_LOG(kWarning) << "skipping graph " << graph.name()
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    if (!valid[gi]) {
+      MCM_LOG(kWarning) << "skipping graph " << graphs[gi].name()
                         << ": heuristic baseline invalid";
       continue;
     }
-    task.baseline_runtime_s = baseline.eval.runtime_s;
-    task.env = std::make_unique<PartitionEnv>(graph, model,
-                                              task.baseline_runtime_s);
-    tasks.push_back(std::move(task));
+    tasks.push_back(std::move(built[gi]));
   }
   return tasks;
 }
@@ -91,8 +103,14 @@ int PretrainPipeline::Validate(std::vector<Checkpoint>& checkpoints,
       HashCombine(config_.seed, 0x76616cULL));
   MCM_CHECK(!tasks.empty());
 
-  int best_index = 0;
-  double best_score = -1.0;
+  // The validation worker is a pure fan-out: every (checkpoint, graph) cell
+  // is independent -- a fresh probe policy restored from the checkpoint, a
+  // deterministic per-checkpoint seed, and a private environment (reward
+  // anchoring depends only on the task's immutable baseline).  Cells run in
+  // parallel; the per-checkpoint score reduction happens serially in
+  // (checkpoint, graph) order so means are bit-identical to the sequential
+  // loop for any thread count.
+  std::vector<std::size_t> scored;  // Checkpoint indices to validate.
   for (std::size_t k = 0; k < checkpoints.size(); ++k) {
     // Score every validate_every-th checkpoint, and always the last.
     if (k % static_cast<std::size_t>(std::max(1, config_.validate_every)) !=
@@ -100,36 +118,71 @@ int PretrainPipeline::Validate(std::vector<Checkpoint>& checkpoints,
         k + 1 != checkpoints.size()) {
       continue;
     }
+    scored.push_back(k);
+  }
+
+  struct Cell {
+    std::size_t checkpoint_index;
+    std::size_t task_index;
+    double zeroshot = 0.0;
+    double finetune = 0.0;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(scored.size() * tasks.size());
+  for (std::size_t k : scored) {
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      cells.push_back(Cell{k, t});
+    }
+  }
+
+  ParallelFor(0, static_cast<std::int64_t>(cells.size()),
+              [&](std::int64_t i) {
+                Cell& cell = cells[static_cast<std::size_t>(i)];
+                const std::size_t k = cell.checkpoint_index;
+                const Checkpoint& checkpoint = checkpoints[k];
+                GraphTask& task = tasks[cell.task_index];
+                // Zero-shot: sample through the solver, no updates.
+                {
+                  PolicyNetwork probe(config_.rl);
+                  Restore(probe, checkpoint);
+                  PpoTrainer probe_trainer(
+                      probe, Rng(HashCombine(config_.seed, 100 + k)));
+                  PartitionEnv env = *task.env;  // Private incumbent/counters.
+                  const auto result = probe_trainer.EvaluateOnly(
+                      *task.context, env,
+                      config_.validation_zeroshot_samples);
+                  cell.zeroshot = result.best_reward;
+                }
+                // Fine-tune: a short PPO run warm-started from the
+                // checkpoint.
+                {
+                  PolicyNetwork probe(config_.rl);
+                  Restore(probe, checkpoint);
+                  PpoTrainer probe_trainer(
+                      probe, Rng(HashCombine(config_.seed, 200 + k)));
+                  PartitionEnv env = *task.env;
+                  int samples = 0;
+                  double best = 0.0;
+                  while (samples < config_.validation_finetune_samples) {
+                    const auto result =
+                        probe_trainer.Iterate(*task.context, env);
+                    samples += static_cast<int>(result.rewards.size());
+                    best = std::max(best, result.best_reward);
+                  }
+                  cell.finetune = best;
+                }
+              });
+
+  int best_index = 0;
+  double best_score = -1.0;
+  std::size_t cell_index = 0;
+  for (std::size_t k : scored) {
     Checkpoint& checkpoint = checkpoints[k];
     RunningStats zeroshot_scores;
     RunningStats finetune_scores;
-    for (GraphTask& task : tasks) {
-      // Zero-shot: sample through the solver, no updates.
-      {
-        PolicyNetwork probe(config_.rl);
-        Restore(probe, checkpoint);
-        PpoTrainer probe_trainer(
-            probe, Rng(HashCombine(config_.seed, 100 + k)));
-        const auto result = probe_trainer.EvaluateOnly(
-            *task.context, *task.env, config_.validation_zeroshot_samples);
-        zeroshot_scores.Add(result.best_reward);
-      }
-      // Fine-tune: a short PPO run warm-started from the checkpoint.
-      {
-        PolicyNetwork probe(config_.rl);
-        Restore(probe, checkpoint);
-        PpoTrainer probe_trainer(
-            probe, Rng(HashCombine(config_.seed, 200 + k)));
-        int samples = 0;
-        double best = 0.0;
-        while (samples < config_.validation_finetune_samples) {
-          const auto result =
-              probe_trainer.Iterate(*task.context, *task.env);
-          samples += static_cast<int>(result.rewards.size());
-          best = std::max(best, result.best_reward);
-        }
-        finetune_scores.Add(best);
-      }
+    for (std::size_t t = 0; t < tasks.size(); ++t, ++cell_index) {
+      zeroshot_scores.Add(cells[cell_index].zeroshot);
+      finetune_scores.Add(cells[cell_index].finetune);
     }
     checkpoint.zeroshot_score = zeroshot_scores.Mean();
     checkpoint.finetune_score = finetune_scores.Mean();

@@ -40,47 +40,59 @@ BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
   return result;
 }
 
-double PartitionEnv::Reward(const Partition& partition) {
+double PartitionEnv::Score(const Partition& partition,
+                           EvalResult* eval) const {
+  *eval = model_->Evaluate(*graph_, partition);
+  const double cost = objective_ == Objective::kLatency ? eval->latency_s
+                                                        : eval->runtime_s;
+  if (!eval->valid || cost <= 0.0) return 0.0;
+  return baseline_runtime_s_ / cost;
+}
+
+void PartitionEnv::CommitScore(const Partition& partition,
+                               const EvalResult& eval, double reward) {
   ++num_evaluations_;
-  last_eval_ = model_->Evaluate(*graph_, partition);
-  const double cost = objective_ == Objective::kLatency
-                          ? last_eval_.latency_s
-                          : last_eval_.runtime_s;
-  if (!last_eval_.valid || cost <= 0.0) return 0.0;
-  const double reward = baseline_runtime_s_ / cost;
+  last_eval_ = eval;
   if (reward > best_reward_) {
     best_reward_ = reward;
     best_partition_ = partition;
   }
+}
+
+double PartitionEnv::Reward(const Partition& partition) {
+  EvalResult eval;
+  const double reward = Score(partition, &eval);
+  CommitScore(partition, eval, reward);
   return reward;
 }
 
-void CorrectAndScore(GraphContext& context, PartitionEnv& env,
-                     RlConfig::SolverMode mode, Rollout& rollout, Rng& rng) {
+const Partition& ScoredPartition(const Rollout& rollout,
+                                 RlConfig::SolverMode mode) {
+  return mode == RlConfig::SolverMode::kNone ? rollout.candidate
+                                             : rollout.corrected;
+}
+
+void CorrectRollout(GraphContext& context, CpSolver& solver,
+                    RlConfig::SolverMode mode, Rollout& rollout, Rng& rng) {
   const Graph& graph = context.graph();
   if (mode == RlConfig::SolverMode::kNone) {
     rollout.corrected = rollout.candidate;
     rollout.solver_success = true;
-    rollout.reward = env.Reward(rollout.candidate);
     return;
   }
   SolveResult solved;
   if (mode == RlConfig::SolverMode::kFix) {
-    solved = SolveFixWithRestarts(context.solver(), graph, rollout.candidate,
-                                  rng);
+    solved = SolveFixWithRestarts(solver, graph, rollout.candidate, rng);
   } else {
-    solved = SolveSampleWithRestarts(context.solver(), graph, rollout.probs,
-                                     rng);
+    solved = SolveSampleWithRestarts(solver, graph, rollout.probs, rng);
   }
   rollout.solver_success = solved.success;
   if (!solved.success) {
     // Extremely rare (solver budget exhausted): treat as an invalid sample.
     rollout.corrected = rollout.candidate;
-    rollout.reward = 0.0;
     return;
   }
   rollout.corrected = std::move(solved.partition);
-  rollout.reward = env.Reward(rollout.corrected);
 
   {
     // The solver's corrected assignment y' is the action that actually
@@ -103,6 +115,16 @@ void CorrectAndScore(GraphContext& context, PartitionEnv& env,
           static_cast<float>(std::log(p));
     }
   }
+}
+
+void CorrectAndScore(GraphContext& context, PartitionEnv& env,
+                     RlConfig::SolverMode mode, Rollout& rollout, Rng& rng) {
+  CorrectRollout(context, context.solver(), mode, rollout, rng);
+  if (!rollout.solver_success) {
+    rollout.reward = 0.0;
+    return;
+  }
+  rollout.reward = env.Reward(ScoredPartition(rollout, mode));
 }
 
 }  // namespace mcm

@@ -57,6 +57,21 @@ class PartitionEnv {
   // Evaluates a (corrected) partition: improvement ratio, or 0 when invalid.
   double Reward(const Partition& partition);
 
+  // Thread-safe half of Reward(): evaluates `partition` on the cost model
+  // and returns the reward without touching any environment state, filling
+  // `*eval` with the full evaluation.  Cost-model implementations are
+  // stateless (see cost_model.h), so Score may run concurrently from many
+  // workers; pair each call with a CommitScore in collection order so
+  // counters and the incumbent are updated exactly as the sequential
+  // Reward() loop would have.
+  double Score(const Partition& partition, EvalResult* eval) const;
+
+  // Serial half of Reward(): records a Score() result (evaluation counter,
+  // last_eval, incumbent tracking).  Must be called from one thread at a
+  // time, in the deterministic collection order.
+  void CommitScore(const Partition& partition, const EvalResult& eval,
+                   double reward);
+
   // Full evaluation result of the last Reward() call.
   const EvalResult& last_eval() const { return last_eval_; }
   double baseline_runtime_s() const { return baseline_runtime_s_; }
@@ -83,11 +98,26 @@ class PartitionEnv {
   Partition best_partition_;
 };
 
+// Solver-repair step of a rollout, without any environment interaction:
+// fills `rollout.corrected` and `rollout.solver_success` using the *given*
+// solver instance (parallel rollout collection hands each task a private
+// solver -- CpSolver is stateful and must not be shared across threads).
+// In SAMPLE/FIX mode the rollout's final-iteration actions and log-probs
+// are replaced by the solver's (valid) assignment, which is the action that
+// actually earned the reward.
+void CorrectRollout(GraphContext& context, CpSolver& solver,
+                    RlConfig::SolverMode mode, Rollout& rollout, Rng& rng);
+
+// Returns the partition a corrected rollout is scored on: the raw candidate
+// when the solver is bypassed (kNone), the solver-corrected partition
+// otherwise.
+const Partition& ScoredPartition(const Rollout& rollout,
+                                 RlConfig::SolverMode mode);
+
 // Runs the full candidate -> corrected -> reward step for one rollout,
 // filling `rollout.corrected`, `rollout.solver_success`, and
-// `rollout.reward`.  In SAMPLE mode the rollout's final-iteration actions
-// and log-probs are replaced by the solver's (valid) assignment, which is
-// the action that actually earned the reward.
+// `rollout.reward`.  Sequential convenience wrapper over CorrectRollout +
+// PartitionEnv::Reward using the context's shared solver.
 void CorrectAndScore(GraphContext& context, PartitionEnv& env,
                      RlConfig::SolverMode mode, Rollout& rollout, Rng& rng);
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "runtime/thread_pool.h"
 
 namespace mcm {
 
@@ -17,15 +18,43 @@ PpoTrainer::PpoTrainer(PolicyNetwork& policy, Rng rng)
 std::vector<Rollout> PpoTrainer::CollectRollouts(GraphContext& context,
                                                  PartitionEnv& env, int count,
                                                  IterationResult& result) {
-  std::vector<Rollout> rollouts;
-  rollouts.reserve(static_cast<std::size_t>(count));
+  const RlConfig::SolverMode mode = policy_.config().solver_mode;
+  // One base draw per batch keeps the trainer's RNG stream identical for
+  // any thread count; each rollout derives a private substream from it
+  // (the runtime's determinism contract, runtime/thread_pool.h).
+  const std::uint64_t base_seed = rng_.Next();
+
+  std::vector<Rollout> rollouts(static_cast<std::size_t>(count));
+  std::vector<EvalResult> evals(static_cast<std::size_t>(count));
+  std::vector<double> scores(static_cast<std::size_t>(count), 0.0);
+  ParallelFor(0, count, [&](std::int64_t k) {
+    Rng task_rng(HashCombine(base_seed, static_cast<std::uint64_t>(k)));
+    Rollout& rollout = rollouts[static_cast<std::size_t>(k)];
+    rollout = policy_.SampleRollout(context, task_rng);
+    // CpSolver is stateful: each task repairs with a private instance so
+    // the context's shared solver is never touched concurrently.
+    CpSolver solver(context.graph(), context.solver().num_chips());
+    CorrectRollout(context, solver, mode, rollout, task_rng);
+    if (rollout.solver_success) {
+      scores[static_cast<std::size_t>(k)] = env.Score(
+          ScoredPartition(rollout, mode), &evals[static_cast<std::size_t>(k)]);
+    }
+  });
+
+  // Serial reduction in collection order: environment counters, incumbent
+  // tracking, and reward bookkeeping match the single-threaded loop bit for
+  // bit.
   for (int k = 0; k < count; ++k) {
-    Rollout rollout = policy_.SampleRollout(context, rng_);
-    CorrectAndScore(context, env, policy_.config().solver_mode, rollout,
-                    rng_);
+    Rollout& rollout = rollouts[static_cast<std::size_t>(k)];
+    if (rollout.solver_success) {
+      rollout.reward = scores[static_cast<std::size_t>(k)];
+      env.CommitScore(ScoredPartition(rollout, mode),
+                      evals[static_cast<std::size_t>(k)], rollout.reward);
+    } else {
+      rollout.reward = 0.0;
+    }
     result.rewards.push_back(rollout.reward);
     if (rollout.reward <= 0.0) ++result.invalid_samples;
-    rollouts.push_back(std::move(rollout));
   }
   return rollouts;
 }

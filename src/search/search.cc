@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "runtime/thread_pool.h"
 #include "solver/modes.h"
 
 namespace mcm {
@@ -42,11 +43,36 @@ SearchTrace RandomSearch::Run(GraphContext& context, PartitionEnv& env,
   trace.strategy = name();
   const ProbMatrix uniform = ProbMatrix::Uniform(
       context.num_nodes(), context.solver().num_chips());
+  // Candidates are independent draws: batch-solve and batch-evaluate them in
+  // parallel (per-sample RNG substream + private solver per task), then
+  // commit to the environment serially in sample order so the incumbent and
+  // the trace are bit-identical for any thread count.
+  const std::uint64_t base_seed = rng_.Next();
+  std::vector<Partition> partitions(static_cast<std::size_t>(budget));
+  std::vector<char> success(static_cast<std::size_t>(budget), 0);
+  std::vector<EvalResult> evals(static_cast<std::size_t>(budget));
+  std::vector<double> scores(static_cast<std::size_t>(budget), 0.0);
+  ParallelFor(0, budget, [&](std::int64_t k) {
+    Rng task_rng(HashCombine(base_seed, static_cast<std::uint64_t>(k)));
+    CpSolver solver(context.graph(), context.solver().num_chips());
+    SolveResult solved =
+        SolveSampleWithRestarts(solver, context.graph(), uniform, task_rng);
+    if (!solved.success) return;
+    scores[static_cast<std::size_t>(k)] = env.Score(
+        solved.partition, &evals[static_cast<std::size_t>(k)]);
+    partitions[static_cast<std::size_t>(k)] = std::move(solved.partition);
+    success[static_cast<std::size_t>(k)] = 1;
+  });
+  trace.rewards.reserve(static_cast<std::size_t>(budget));
   for (int k = 0; k < budget; ++k) {
-    const SolveResult solved = SolveSampleWithRestarts(
-        context.solver(), context.graph(), uniform, rng_);
-    trace.rewards.push_back(solved.success ? env.Reward(solved.partition)
-                                           : 0.0);
+    if (success[static_cast<std::size_t>(k)]) {
+      env.CommitScore(partitions[static_cast<std::size_t>(k)],
+                      evals[static_cast<std::size_t>(k)],
+                      scores[static_cast<std::size_t>(k)]);
+      trace.rewards.push_back(scores[static_cast<std::size_t>(k)]);
+    } else {
+      trace.rewards.push_back(0.0);
+    }
   }
   return trace;
 }

@@ -1,0 +1,247 @@
+// Tests for the runtime worker pool (thread pool, parallel-for, task
+// groups) and for the end-to-end determinism contract: training,
+// validation, and search results must be bit-identical for any thread
+// count.
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.h"
+#include "graph/generators.h"
+#include "pipeline/pretrain.h"
+#include "rl/env.h"
+#include "rl/policy.h"
+#include "rl/ppo.h"
+#include "runtime/thread_pool.h"
+#include "search/search.h"
+
+namespace mcm {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kN, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (std::int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsBeginOffset) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(4, 10, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(hits[i].load(), i >= 4 ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingleThreadedAreInline) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.ParallelFor(0, 0, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(0, 7, [&](std::int64_t) { ++calls; });  // No data race:
+  EXPECT_EQ(calls, 7);  // a 1-thread pool runs everything on the caller.
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100,
+                       [&](std::int64_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                         completed.fetch_add(1);
+                       }),
+      std::runtime_error);
+  // Every non-throwing claimed iteration still finished before the rethrow.
+  EXPECT_LE(completed.load(), 99);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlockAndCoversAll) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kOuter = 8;
+  constexpr std::int64_t kInner = 50;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kOuter, [&](std::int64_t o) {
+    pool.ParallelFor(0, kInner, [&](std::int64_t i) {
+      hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (std::int64_t k = 0; k < kOuter * kInner; ++k) {
+    EXPECT_EQ(hits[k].load(), 1) << k;
+  }
+}
+
+TEST(TaskGroupTest, RunsAllTasksAndIsReusable) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 20; ++i) {
+    group.Run([&sum, i] { sum.fetch_add(i); });
+  }
+  group.Wait();
+  EXPECT_EQ(sum.load(), 210);
+  group.Run([&sum] { sum.fetch_add(1); });  // Reusable after Wait().
+  group.Wait();
+  EXPECT_EQ(sum.load(), 211);
+}
+
+TEST(TaskGroupTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.Run([] { throw std::runtime_error("task failed"); });
+  group.Run([] {});
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // The error was consumed; the group works again.
+  group.Run([] {});
+  EXPECT_NO_THROW(group.Wait());
+}
+
+TEST(DefaultPoolTest, ThreadCountOverrideTakesEffect) {
+  const int before = DefaultThreadCount();
+  SetDefaultThreadCount(3);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  EXPECT_EQ(DefaultPool().num_threads(), 3);
+  SetDefaultThreadCount(before);
+}
+
+// ---- Determinism across thread counts ---------------------------------------
+
+RlConfig TinyConfig() {
+  RlConfig config = RlConfig::Quick();
+  config.gnn_layers = 2;
+  config.hidden_dim = 16;
+  config.rollouts_per_update = 6;
+  config.minibatches = 2;
+  config.epochs = 2;
+  config.seed = 5;
+  return config;
+}
+
+struct PpoRunResult {
+  std::vector<std::vector<double>> rewards;  // Per iteration.
+  std::vector<double> mean_losses;
+  std::vector<Matrix> params;
+};
+
+PpoRunResult RunPpo(int threads, int iterations) {
+  SetDefaultThreadCount(threads);
+  const Graph g = MakeMlp("m", 64, {64, 64}, 10);
+  AnalyticalCostModel model{McmConfig{}};
+  GraphContext context(g, 36);
+  Rng rng(3);
+  const BaselineResult baseline =
+      ComputeHeuristicBaseline(g, model, context.solver(), rng);
+  PartitionEnv env(g, model, baseline.eval.runtime_s);
+  PolicyNetwork policy(TinyConfig());
+  PpoTrainer trainer(policy, Rng(7));
+  PpoRunResult out;
+  for (int it = 0; it < iterations; ++it) {
+    const PpoTrainer::IterationResult result = trainer.Iterate(context, env);
+    out.rewards.push_back(result.rewards);
+    out.mean_losses.push_back(result.mean_loss);
+  }
+  out.params = SnapshotParams(policy.Params());
+  return out;
+}
+
+TEST(DeterminismTest, PpoIterationBitIdenticalAcrossThreadCounts) {
+  const int before = DefaultThreadCount();
+  const PpoRunResult one = RunPpo(/*threads=*/1, /*iterations=*/2);
+  const PpoRunResult four = RunPpo(/*threads=*/4, /*iterations=*/2);
+  SetDefaultThreadCount(before);
+
+  ASSERT_EQ(one.rewards.size(), four.rewards.size());
+  for (std::size_t it = 0; it < one.rewards.size(); ++it) {
+    EXPECT_EQ(one.rewards[it], four.rewards[it]) << "iteration " << it;
+    EXPECT_EQ(one.mean_losses[it], four.mean_losses[it]) << "iteration "
+                                                         << it;
+  }
+  ASSERT_EQ(one.params.size(), four.params.size());
+  for (std::size_t p = 0; p < one.params.size(); ++p) {
+    EXPECT_EQ(one.params[p].data, four.params[p].data) << "param " << p;
+  }
+}
+
+TEST(DeterminismTest, RandomSearchBitIdenticalAcrossThreadCounts) {
+  const int before = DefaultThreadCount();
+  auto run = [](int threads) {
+    SetDefaultThreadCount(threads);
+    const Graph g = MakeMlp("m", 64, {64, 64}, 10);
+    AnalyticalCostModel model{McmConfig{}};
+    GraphContext context(g, 36);
+    Rng rng(3);
+    const BaselineResult baseline =
+        ComputeHeuristicBaseline(g, model, context.solver(), rng);
+    PartitionEnv env(g, model, baseline.eval.runtime_s);
+    RandomSearch search{Rng(17)};
+    SearchTrace trace = search.Run(context, env, /*budget=*/40);
+    return std::make_pair(trace.rewards, env.best_reward());
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  SetDefaultThreadCount(before);
+  EXPECT_EQ(one.first, four.first);
+  EXPECT_EQ(one.second, four.second);
+}
+
+PretrainConfig TinyPretrain() {
+  PretrainConfig config;
+  config.rl = TinyConfig();
+  config.total_samples = 36;
+  config.num_checkpoints = 3;
+  config.validation_zeroshot_samples = 4;
+  config.validation_finetune_samples = 6;
+  config.seed = 11;
+  return config;
+}
+
+std::vector<Graph> SmallGraphs(int count) {
+  std::vector<Graph> graphs;
+  for (const Graph& g : MakeCorpus()) {
+    if (g.NumNodes() < 80 && static_cast<int>(graphs.size()) < count) {
+      graphs.push_back(g);
+    }
+  }
+  return graphs;
+}
+
+TEST(DeterminismTest, PretrainAndValidateBitIdenticalAcrossThreadCounts) {
+  const int before = DefaultThreadCount();
+  auto run = [](int threads) {
+    SetDefaultThreadCount(threads);
+    AnalyticalCostModel model{McmConfig{}};
+    PretrainPipeline pipeline(TinyPretrain(), model);
+    std::vector<Checkpoint> checkpoints = pipeline.Train(SmallGraphs(2));
+    const int best = pipeline.Validate(checkpoints, SmallGraphs(2));
+    return std::make_pair(std::move(checkpoints), best);
+  };
+  auto one = run(1);
+  auto four = run(4);
+  SetDefaultThreadCount(before);
+
+  EXPECT_EQ(one.second, four.second);
+  ASSERT_EQ(one.first.size(), four.first.size());
+  for (std::size_t k = 0; k < one.first.size(); ++k) {
+    const Checkpoint& a = one.first[k];
+    const Checkpoint& b = four.first[k];
+    EXPECT_EQ(a.samples_seen, b.samples_seen) << "checkpoint " << k;
+    EXPECT_EQ(a.zeroshot_score, b.zeroshot_score) << "checkpoint " << k;
+    EXPECT_EQ(a.finetune_score, b.finetune_score) << "checkpoint " << k;
+    ASSERT_EQ(a.params.size(), b.params.size());
+    for (std::size_t p = 0; p < a.params.size(); ++p) {
+      EXPECT_EQ(a.params[p].data, b.params[p].data)
+          << "checkpoint " << k << " param " << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcm

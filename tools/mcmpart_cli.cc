@@ -13,6 +13,9 @@
 //     --model M        analytical | hwsim                 (default analytical)
 //     --objective O    throughput | latency               (default throughput)
 //     --seed S         RNG seed                           (default 1)
+//     --threads N      worker threads (default: MCMPART_THREADS env,
+//                      else hardware concurrency); results are identical
+//                      for any N
 //     --out FILE       write "node chip" lines of the best partition
 #include <cstdio>
 #include <cstring>
@@ -25,6 +28,7 @@
 #include "graph/generators.h"
 #include "hwsim/hardware_sim.h"
 #include "rl/env.h"
+#include "runtime/thread_pool.h"
 #include "search/search.h"
 
 namespace {
@@ -38,7 +42,8 @@ int Usage() {
                "       mcmpart dot <in.graph> <out.dot>\n"
                "       mcmpart partition <in.graph> [--chips N] [--budget B]"
                " [--method random|sa|rl] [--model analytical|hwsim]"
-               " [--objective throughput|latency] [--seed S] [--out FILE]\n");
+               " [--objective throughput|latency] [--seed S] [--threads N]"
+               " [--out FILE]\n");
   return 2;
 }
 
@@ -80,6 +85,7 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
     else if (arg == "--model") model_name = next();
     else if (arg == "--objective") objective_name = next();
     else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
     else if (arg == "--out") out_path = next();
     else throw std::runtime_error("unknown option: " + arg);
   }
