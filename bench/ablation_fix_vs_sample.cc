@@ -14,6 +14,9 @@
 int main(int argc, char** argv) {
   mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm;
+  mcm::telemetry::RunReport report =
+      mcm::bench::MakeBenchReport("ablation_fix_vs_sample");
+  mcm::telemetry::PhaseTimer phase_timer(report, "ablation");
   const int budget =
       static_cast<int>(ScaledInt("MCM_ABLATION_BUDGET", 100, 1500));
   std::printf("=== Ablation: solver FIX vs SAMPLE mode under RL ===\n");
@@ -45,7 +48,10 @@ int main(int argc, char** argv) {
     std::printf("%-14s (%3d nodes): %s best=%.3f  %s best=%.3f  (%s wins)\n",
                 graph.name().c_str(), graph.NumNodes(), labels[0], best[0],
                 labels[1], best[1], best[0] >= best[1] ? "FIX" : "SAMPLE");
+    report.SetValue("fix/" + graph.name(), best[0]);
+    report.SetValue("sample/" + graph.name(), best[1]);
   }
   std::printf("# paper reference: FIX outperforms SAMPLE (Section 5.1).\n");
+  mcm::bench::WriteBenchReport(report);
   return 0;
 }

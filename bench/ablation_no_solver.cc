@@ -18,6 +18,9 @@
 int main(int argc, char** argv) {
   mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm;
+  mcm::telemetry::RunReport report =
+      mcm::bench::MakeBenchReport("ablation_no_solver");
+  mcm::telemetry::PhaseTimer phase_timer(report, "ablation");
   const int budget = static_cast<int>(ScaledInt("MCM_ABLATION_BUDGET", 80, 1000));
   std::printf("=== Ablation: RL with vs without the constraint solver ===\n");
 
@@ -40,6 +43,8 @@ int main(int argc, char** argv) {
     }
     std::printf("statically valid fraction of uniform assignments: %d / %d "
                 "(%.5f%%)\n", valid, trials, 100.0 * valid / trials);
+    report.SetValue("uniform_valid_fraction",
+                    static_cast<double>(valid) / trials);
   }
 
   AnalyticalCostModel model{McmConfig{}};
@@ -65,6 +70,8 @@ int main(int argc, char** argv) {
     }
     std::printf("RL without solver: %d/%d valid samples, best improvement "
                 "%.3f\n", valid_samples, budget, trace.BestWithin(trace.rewards.size()));
+    report.SetValue("no_solver/valid_samples", valid_samples);
+    report.SetValue("no_solver/best", trace.BestWithin(trace.rewards.size()));
   }
   // RL with the solver (same budget).
   {
@@ -81,8 +88,12 @@ int main(int argc, char** argv) {
     }
     std::printf("RL with solver:    %d/%d valid samples, best improvement "
                 "%.3f\n", valid_samples, budget, trace.BestWithin(trace.rewards.size()));
+    report.SetValue("with_solver/valid_samples", valid_samples);
+    report.SetValue("with_solver/best",
+                    trace.BestWithin(trace.rewards.size()));
   }
   std::printf("# paper reference: without the solver RL finds no valid "
               "partition even with many samples (Table 1, Section 5.1).\n");
+  mcm::bench::WriteBenchReport(report);
   return 0;
 }

@@ -21,7 +21,8 @@ struct Setting {
   CpSolver::Options options;
 };
 
-void RunCase(const Graph& graph, const Setting& setting, int solves) {
+void RunCase(const Graph& graph, const Setting& setting, int solves,
+             telemetry::RunReport& report) {
   CpSolver solver(graph, 36, setting.options);
   const ProbMatrix uniform = ProbMatrix::Uniform(graph.NumNodes(), 36);
   Rng rng(7);
@@ -42,6 +43,11 @@ void RunCase(const Graph& graph, const Setting& setting, int solves) {
               "%8.2f ms/solve\n",
               setting.label, successes, solves,
               static_cast<double>(calls) / solves, ms);
+  const std::string key = graph.name() + "/" + setting.label;
+  report.SetValue("calls_per_solve/" + key,
+                  static_cast<double>(calls) / solves);
+  report.SetValue("ms_per_solve/" + key, ms);
+  report.SetValue("successes/" + key, successes);
 }
 
 }  // namespace
@@ -49,6 +55,9 @@ void RunCase(const Graph& graph, const Setting& setting, int solves) {
 int main(int argc, char** argv) {
   mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm;
+  mcm::telemetry::RunReport report =
+      mcm::bench::MakeBenchReport("ablation_propagation");
+  mcm::telemetry::PhaseTimer phase_timer(report, "ablation");
   std::printf("=== Ablation: solver propagation strength (uniform SAMPLE "
               "solves) ===\n");
   const int solves = static_cast<int>(ScaledInt("MCM_ABLATION_SOLVES", 8, 50));
@@ -73,7 +82,7 @@ int main(int argc, char** argv) {
                             !setting.options.assume_connected_used_chips
                         ? 1
                         : solves;
-      RunCase(graph, setting, n);
+      RunCase(graph, setting, n, report);
     }
   }
   std::printf("# takeaway: the propagation layers remove orders of "
@@ -81,5 +90,6 @@ int main(int argc, char** argv) {
               "on BERT the value-selection rules carry part of the load, "
               "but weak-propagation solves degrade sharply with unlucky "
               "seeds (DESIGN.md, implementation notes).\n");
+  mcm::bench::WriteBenchReport(report);
   return 0;
 }

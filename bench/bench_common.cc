@@ -13,6 +13,8 @@
 #include "partition/heuristics.h"
 #include "rl/env.h"
 #include "runtime/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace mcm::bench {
 namespace {
@@ -118,6 +120,8 @@ Checkpoint Pretrain(const BenchScaleConfig& config, std::uint64_t seed,
 }  // namespace
 
 void InitBenchRuntime(int argc, char** argv) {
+  telemetry::InitTelemetryFromEnv();
+  telemetry::RegisterStandardMetrics();
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
       SetDefaultThreadCount(std::stoi(argv[i + 1]));
@@ -127,6 +131,33 @@ void InitBenchRuntime(int argc, char** argv) {
   std::printf("# runtime: %d worker threads (override with --threads N or "
               "MCMPART_THREADS)\n",
               DefaultThreadCount());
+}
+
+telemetry::RunReport MakeBenchReport(std::string_view name) {
+  telemetry::RunReport report{std::string(name)};
+  report.SetString("scale",
+                   GetBenchScale() == BenchScale::kFull ? "full" : "quick");
+  report.SetValue("threads", DefaultThreadCount());
+  return report;
+}
+
+void AddComparison(telemetry::RunReport& report,
+                   const ComparisonResult& result) {
+  report.AddPhaseSeconds("pretrain", result.pretrain_seconds);
+  for (const MethodCurve& curve : result.curves) {
+    if (curve.best_so_far.empty()) continue;
+    report.SetValue("final/" + curve.name, curve.best_so_far.back());
+    report.SetValue("samples/" + curve.name,
+                    static_cast<double>(curve.best_so_far.size()));
+  }
+}
+
+void WriteBenchReport(const telemetry::RunReport& report) {
+  const std::string path = "BENCH_" + report.name() + ".json";
+  if (report.Write(path)) {
+    std::printf("# wrote %s\n", path.c_str());
+  }
+  telemetry::WriteTraceIfConfigured();
 }
 
 BenchScaleConfig BenchScaleConfig::FromEnv() {

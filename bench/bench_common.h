@@ -17,6 +17,7 @@
 #include "pipeline/pretrain.h"
 #include "rl/policy.h"
 #include "search/search.h"
+#include "telemetry/report.h"
 
 namespace mcm::bench {
 
@@ -73,6 +74,22 @@ ComparisonResult RunCorpusComparison(const BenchScaleConfig& config,
 // production (by-params) greedy baseline.
 ComparisonResult RunBertComparison(const BenchScaleConfig& config,
                                    std::uint64_t seed);
+
+// ---- Machine-readable reports ----------------------------------------------
+
+// Builds a run report named `name`, pre-populated with the bench scale and
+// worker thread count.  Also interns the standard metric names so the
+// report's metrics section is complete even for layers a bench never hits.
+telemetry::RunReport MakeBenchReport(std::string_view name);
+
+// Records a comparison's headline numbers: "final/<method>" (last point of
+// each best-so-far curve), per-method curve lengths, and pre-training time.
+void AddComparison(telemetry::RunReport& report,
+                   const ComparisonResult& result);
+
+// Writes the report to BENCH_<name>.json in the current directory (the
+// repo's perf-trajectory convention) and prints the path.
+void WriteBenchReport(const telemetry::RunReport& report);
 
 // ---- Rendering --------------------------------------------------------------
 

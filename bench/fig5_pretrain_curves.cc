@@ -14,7 +14,13 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 5: geomean throughput improvement on the test set "
               "(analytical cost model) ===\n");
   const BenchScaleConfig config = BenchScaleConfig::FromEnv();
-  const ComparisonResult result = RunCorpusComparison(config, /*seed=*/5);
+  mcm::telemetry::RunReport report = MakeBenchReport("fig5_pretrain_curves");
+  ComparisonResult result;
+  {
+    mcm::telemetry::PhaseTimer timer(report, "comparison");
+    result = RunCorpusComparison(config, /*seed=*/5);
+  }
+  AddComparison(report, result);
   PrintCurves("geomean best-so-far improvement over compiler heuristic",
               result.curves);
   std::printf("\n# final geomean improvements: ");
@@ -23,5 +29,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# paper reference: RL beats Random by 4.36%% and SA by "
               "6.49%% at convergence.\n");
+  WriteBenchReport(report);
   return 0;
 }

@@ -11,7 +11,13 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 6: BERT throughput improvement over the greedy "
               "heuristic (hardware simulator) ===\n");
   const BenchScaleConfig config = BenchScaleConfig::FromEnv();
-  const ComparisonResult result = RunBertComparison(config, /*seed=*/6);
+  mcm::telemetry::RunReport report = MakeBenchReport("fig6_bert_curves");
+  ComparisonResult result;
+  {
+    mcm::telemetry::PhaseTimer timer(report, "comparison");
+    result = RunBertComparison(config, /*seed=*/6);
+  }
+  AddComparison(report, result);
   PrintCurves("best-so-far improvement over greedy heuristic", result.curves);
   std::printf("\n# final improvements: ");
   for (const MethodCurve& curve : result.curves) {
@@ -20,5 +26,6 @@ int main(int argc, char** argv) {
   std::printf("\n# paper reference: RL beats Random by 6.11%% and SA by "
               "5.85%% at convergence; fine-tuning dominates at low sample "
               "counts; zero-shot underperforms (out-of-distribution).\n");
+  WriteBenchReport(report);
   return 0;
 }

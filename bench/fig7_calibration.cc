@@ -21,6 +21,9 @@
 int main(int argc, char** argv) {
   mcm::bench::InitBenchRuntime(argc, argv);
   using namespace mcm;
+  mcm::telemetry::RunReport report =
+      mcm::bench::MakeBenchReport("fig7_calibration");
+  mcm::telemetry::PhaseTimer phase_timer(report, "calibration");
   const int samples =
       static_cast<int>(ScaledInt("MCM_CALIBRATION_SAMPLES", 300, 2000));
   std::printf("=== Figure 7: analytical-vs-hardware calibration on BERT "
@@ -60,6 +63,9 @@ int main(int argc, char** argv) {
               invalid, 100.0 * invalid / std::max(evaluated, 1));
   const double r = PearsonCorrelation(predicted, measured);
   std::printf("Pearson R (valid samples):     %.3f        [paper: 0.91]\n", r);
+  report.SetValue("evaluated", evaluated);
+  report.SetValue("invalid_on_hardware", invalid);
+  report.SetValue("pearson_r", r);
 
   // Normalize to the respective minima, as the paper plots.
   const double min_pred =
@@ -113,5 +119,7 @@ int main(int argc, char** argv) {
               "best quartile: %d\n", invalid_low_pred);
   std::printf("# paper reference: strong correlation with a false-positive "
               "cluster (the red circle in Fig. 7).\n");
+  report.SetValue("false_positives", false_positives);
+  mcm::bench::WriteBenchReport(report);
   return 0;
 }

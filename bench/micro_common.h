@@ -1,0 +1,60 @@
+// Shared main() for the google-benchmark micro benches: runs the standard
+// console reporter while mirroring every per-iteration timing into a
+// telemetry::RunReport, then writes BENCH_<name>.json so the microbench
+// trajectory is machine-readable like the figure/table benches.
+//
+// Use MCM_MICROBENCH_MAIN("micro_solver") in place of BENCHMARK_MAIN().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+
+#include "bench_common.h"
+#include "telemetry/report.h"
+
+namespace mcm::bench {
+
+// Console reporter that also records each benchmark's adjusted real time
+// (ns, google-benchmark's reporting unit before display scaling) into the
+// report under "time_ns/<benchmark name>".
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(telemetry::RunReport& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      report_.SetValue("time_ns/" + run.benchmark_name(),
+                       run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  telemetry::RunReport& report_;
+};
+
+inline int RunMicrobench(std::string_view bench_name, int argc, char** argv) {
+  // benchmark::Initialize strips google-benchmark's own flags from argv
+  // first, so InitBenchRuntime only sees what's left (e.g. --threads).
+  benchmark::Initialize(&argc, argv);
+  InitBenchRuntime(argc, argv);
+  telemetry::RunReport report = MakeBenchReport(bench_name);
+  ReportingReporter reporter(report);
+  {
+    telemetry::PhaseTimer timer(report, "benchmarks");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  WriteBenchReport(report);
+  return 0;
+}
+
+}  // namespace mcm::bench
+
+#define MCM_MICROBENCH_MAIN(bench_name)                          \
+  int main(int argc, char** argv) {                              \
+    return ::mcm::bench::RunMicrobench(bench_name, argc, argv);  \
+  }

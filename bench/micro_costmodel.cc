@@ -2,6 +2,8 @@
 // hardware-simulator evaluations at corpus and BERT scales.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.h"
+
 #include "common/rng.h"
 #include "costmodel/cost_model.h"
 #include "partition/heuristics.h"
@@ -78,4 +80,4 @@ BENCHMARK(BM_HeuristicBaseline)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond)
 }  // namespace
 }  // namespace mcm
 
-BENCHMARK_MAIN();
+MCM_MICROBENCH_MAIN("micro_costmodel")

@@ -2,6 +2,8 @@
 // rollout sampling, and PPO updates at corpus and BERT scales.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.h"
+
 #include "costmodel/cost_model.h"
 #include "graph/generators.h"
 #include "rl/env.h"
@@ -70,4 +72,4 @@ BENCHMARK(BM_PpoIteration)->DenseRange(0, 1)->Unit(benchmark::kMillisecond)->Ite
 }  // namespace
 }  // namespace mcm
 
-BENCHMARK_MAIN();
+MCM_MICROBENCH_MAIN("micro_nn")

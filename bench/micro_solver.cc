@@ -2,6 +2,8 @@
 // and decision-order generation across graph scales.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.h"
+
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "partition/heuristics.h"
@@ -83,4 +85,4 @@ BENCHMARK(BM_StaticValidation)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace mcm
 
-BENCHMARK_MAIN();
+MCM_MICROBENCH_MAIN("micro_solver")

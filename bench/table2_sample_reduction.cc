@@ -16,11 +16,18 @@ int main(int argc, char** argv) {
   std::printf("=== Table 2: samples to reach geomean improvement levels "
               "(test set, analytical model) ===\n");
   const BenchScaleConfig config = BenchScaleConfig::FromEnv();
-  const ComparisonResult result = RunCorpusComparison(config, /*seed=*/5);
+  mcm::telemetry::RunReport report = MakeBenchReport("table2_sample_reduction");
+  ComparisonResult result;
+  {
+    mcm::telemetry::PhaseTimer timer(report, "comparison");
+    result = RunCorpusComparison(config, /*seed=*/5);
+  }
+  AddComparison(report, result);
   PrintThresholdTable(
       "samples to threshold (reduction vs RL from scratch)", result.curves,
       /*paper_thresholds=*/{1.60, 1.70, 1.80});
   std::printf("\n# paper reference: RL Finetuning reduces samples by up to "
               "1.93x vs RL from scratch.\n");
+  WriteBenchReport(report);
   return 0;
 }

@@ -18,7 +18,13 @@ int main(int argc, char** argv) {
   std::printf("=== Table 3: samples to reach BERT improvement levels "
               "(hardware simulator) ===\n");
   const BenchScaleConfig config = BenchScaleConfig::FromEnv();
-  const ComparisonResult result = RunBertComparison(config, /*seed=*/6);
+  mcm::telemetry::RunReport report = MakeBenchReport("table3_bert_samples");
+  ComparisonResult result;
+  {
+    mcm::telemetry::PhaseTimer timer(report, "comparison");
+    result = RunBertComparison(config, /*seed=*/6);
+  }
+  AddComparison(report, result);
   PrintThresholdTable(
       "samples to threshold (reduction vs RL from scratch)", result.curves,
       /*paper_thresholds=*/{2.55, 2.60, 2.65});
@@ -53,5 +59,6 @@ int main(int argc, char** argv) {
   }
   std::printf("# paper reference: fine-tuning cuts samples up to 21.15x "
               "(423 -> 20), i.e. >3 h -> ~9 min of search.\n");
+  WriteBenchReport(report);
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/logging.h"
+
 namespace mcm {
 
 std::optional<std::string> GetEnv(const std::string& name) {
@@ -15,7 +17,11 @@ std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback) {
   if (!value) return fallback;
   char* end = nullptr;
   const long long parsed = std::strtoll(value->c_str(), &end, 10);
-  if (end == value->c_str() || *end != '\0') return fallback;
+  if (end == value->c_str() || *end != '\0') {
+    MCM_LOG(kWarning) << name << "=\"" << *value
+                      << "\" is not an integer; using " << fallback;
+    return fallback;
+  }
   return parsed;
 }
 
@@ -24,7 +30,11 @@ double GetEnvDouble(const std::string& name, double fallback) {
   if (!value) return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(value->c_str(), &end);
-  if (end == value->c_str() || *end != '\0') return fallback;
+  if (end == value->c_str() || *end != '\0') {
+    MCM_LOG(kWarning) << name << "=\"" << *value
+                      << "\" is not a number; using " << fallback;
+    return fallback;
+  }
   return parsed;
 }
 

@@ -68,8 +68,12 @@ class CheckStream {
 }  // namespace internal
 }  // namespace mcm
 
+// The level test runs before the LogStream exists, so a dropped message
+// never constructs the ostringstream or formats its << arguments.
 #define MCM_LOG(level)                                              \
-  ::mcm::internal::LogStream(::mcm::LogLevel::level, __FILE__, __LINE__)
+  if (::mcm::LogLevel::level < ::mcm::GetLogLevel()) {              \
+  } else /* NOLINT */                                               \
+    ::mcm::internal::LogStream(::mcm::LogLevel::level, __FILE__, __LINE__)
 
 #define MCM_CHECK(cond)                                             \
   if (cond) {                                                       \

@@ -6,9 +6,14 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace mcm {
 namespace {
+
+constexpr double kPeakMemFractionBounds[] = {0.25, 0.5, 0.75, 0.9,
+                                             1.0,  1.25, 2.0};
 
 // Deterministic measurement noise for a (graph, partition) pair: the same
 // candidate always "measures" the same runtime, but near-identical
@@ -33,9 +38,19 @@ double NoiseFactor(const Graph& graph, const Partition& partition,
 
 HardwareSim::Report HardwareSim::Simulate(const Graph& graph,
                                           const Partition& partition) const {
+  MCM_TRACE_SPAN("hwsim/simulate");
+  static telemetry::Counter& simulations =
+      telemetry::Counter::Get("hwsim/simulations");
+  static telemetry::Counter& static_invalid =
+      telemetry::Counter::Get("hwsim/static_invalid");
+  simulations.Add();
+
   Report report;
   report.statically_valid = IsStaticallyValid(graph, partition);
-  if (!report.statically_valid) return report;
+  if (!report.statically_valid) {
+    static_invalid.Add();
+    return report;
+  }
 
   const McmConfig& mcm = options_.mcm;
   const int num_chips = partition.num_chips;
@@ -133,7 +148,25 @@ HardwareSim::Report HardwareSim::Simulate(const Graph& graph,
       report.first_oom_chip = chip;
     }
   }
-  if (report.oom) return report;
+  {
+    static telemetry::Counter& oom_rejections =
+        telemetry::Counter::Get("hwsim/oom_rejections");
+    static telemetry::Gauge& max_peak =
+        telemetry::Gauge::Get("hwsim/max_chip_peak_memory_bytes");
+    static telemetry::Histogram& peak_fraction = telemetry::Histogram::Get(
+        "hwsim/chip_peak_memory_fraction", kPeakMemFractionBounds);
+    double worst_peak = 0.0;
+    for (const ChipReport& chip_report : report.chips) {
+      worst_peak = std::max(worst_peak, chip_report.peak_memory_bytes);
+    }
+    // SetMax commutes, so the gauge stays deterministic under ParallelFor.
+    max_peak.SetMax(worst_peak);
+    peak_fraction.Observe(worst_peak / mcm.sram_bytes_per_chip);
+    if (report.oom) {
+      oom_rejections.Add();
+      return report;
+    }
+  }
 
   // ---- Performance model.
   // Compute: roofline-style utilization from arithmetic intensity.
@@ -199,6 +232,12 @@ HardwareSim::Report HardwareSim::Simulate(const Graph& graph,
   for (double bytes : report.link_bytes) {
     const double link_s = bytes / mcm.link_bandwidth_bytes_per_s;
     report.bottleneck_link_s = std::max(report.bottleneck_link_s, link_s);
+  }
+  if (report.bottleneck_link_s > bottleneck) {
+    // Link contention, not any chip's compute, sets the pipeline interval.
+    static telemetry::Counter& link_bound =
+        telemetry::Counter::Get("hwsim/link_bound_evals");
+    link_bound.Add();
   }
   bottleneck = std::max(bottleneck, report.bottleneck_link_s);
 

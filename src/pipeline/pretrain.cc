@@ -5,11 +5,21 @@
 #include <memory>
 #include <stdexcept>
 
+#include <chrono>
+
 #include "common/logging.h"
 #include "common/stats.h"
 #include "runtime/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace mcm {
+namespace {
+
+constexpr double kCheckpointSecondsBounds[] = {0.1, 0.5, 1.0,  5.0,
+                                               15.0, 60.0, 300.0};
+
+}  // namespace
 
 std::vector<GraphTask> BuildGraphTasks(const std::vector<Graph>& graphs,
                                        CostModel& model, int num_chips,
@@ -53,6 +63,11 @@ PretrainPipeline::PretrainPipeline(PretrainConfig config,
 
 std::vector<Checkpoint> PretrainPipeline::Train(
     const std::vector<Graph>& train_graphs) {
+  MCM_TRACE_SPAN("pipeline/train");
+  static telemetry::Counter& checkpoint_count =
+      telemetry::Counter::Get("pipeline/checkpoints");
+  static telemetry::Histogram& checkpoint_seconds = telemetry::Histogram::Get(
+      "pipeline/checkpoint_train_s", kCheckpointSecondsBounds);
   std::vector<GraphTask> tasks = BuildGraphTasks(
       train_graphs, *reward_model_, config_.rl.num_chips,
       HashCombine(config_.seed, 0x7261696eULL));
@@ -67,6 +82,7 @@ std::vector<Checkpoint> PretrainPipeline::Train(
   int samples_seen = 0;
   int next_checkpoint_at = samples_per_checkpoint;
   std::size_t task_index = 0;
+  auto checkpoint_start = std::chrono::steady_clock::now();
   while (samples_seen < config_.total_samples) {
     GraphTask& task = tasks[task_index];
     task_index = (task_index + 1) % tasks.size();
@@ -81,6 +97,11 @@ std::vector<Checkpoint> PretrainPipeline::Train(
       checkpoint.params = SnapshotParams(policy_.Params());
       checkpoints.push_back(std::move(checkpoint));
       next_checkpoint_at += samples_per_checkpoint;
+      const auto now = std::chrono::steady_clock::now();
+      checkpoint_count.Add();
+      checkpoint_seconds.Observe(
+          std::chrono::duration<double>(now - checkpoint_start).count());
+      checkpoint_start = now;
     }
   }
   // Always keep the final weights as the last checkpoint.
@@ -97,6 +118,7 @@ std::vector<Checkpoint> PretrainPipeline::Train(
 
 int PretrainPipeline::Validate(std::vector<Checkpoint>& checkpoints,
                                const std::vector<Graph>& validation_graphs) {
+  MCM_TRACE_SPAN("pipeline/validate");
   MCM_CHECK(!checkpoints.empty());
   std::vector<GraphTask> tasks = BuildGraphTasks(
       validation_graphs, *reward_model_, config_.rl.num_chips,
@@ -135,8 +157,12 @@ int PretrainPipeline::Validate(std::vector<Checkpoint>& checkpoints,
     }
   }
 
+  static telemetry::Counter& cells_validated =
+      telemetry::Counter::Get("pipeline/validate_cells");
   ParallelFor(0, static_cast<std::int64_t>(cells.size()),
               [&](std::int64_t i) {
+                MCM_TRACE_SPAN("pipeline/validate_cell");
+                cells_validated.Add();
                 Cell& cell = cells[static_cast<std::size_t>(i)];
                 const std::size_t k = cell.checkpoint_index;
                 const Checkpoint& checkpoint = checkpoints[k];

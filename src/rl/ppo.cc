@@ -6,8 +6,16 @@
 #include "common/logging.h"
 #include "common/stats.h"
 #include "runtime/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace mcm {
+namespace {
+
+constexpr double kRewardBounds[] = {0.0, 0.25, 0.5, 0.75, 1.0,
+                                    1.5, 2.0,  3.0, 5.0};
+
+}  // namespace
 
 PpoTrainer::PpoTrainer(PolicyNetwork& policy, Rng rng)
     : policy_(policy),
@@ -43,7 +51,13 @@ std::vector<Rollout> PpoTrainer::CollectRollouts(GraphContext& context,
 
   // Serial reduction in collection order: environment counters, incumbent
   // tracking, and reward bookkeeping match the single-threaded loop bit for
-  // bit.
+  // bit.  Telemetry recorded here (not in the workers) costs nothing extra
+  // and keeps per-episode ordering trivially deterministic.
+  static telemetry::Counter& episodes = telemetry::Counter::Get("rl/episodes");
+  static telemetry::Counter& invalid_episodes =
+      telemetry::Counter::Get("rl/invalid_episodes");
+  static telemetry::Histogram& reward_hist =
+      telemetry::Histogram::Get("rl/reward", kRewardBounds);
   for (int k = 0; k < count; ++k) {
     Rollout& rollout = rollouts[static_cast<std::size_t>(k)];
     if (rollout.solver_success) {
@@ -54,7 +68,12 @@ std::vector<Rollout> PpoTrainer::CollectRollouts(GraphContext& context,
       rollout.reward = 0.0;
     }
     result.rewards.push_back(rollout.reward);
-    if (rollout.reward <= 0.0) ++result.invalid_samples;
+    if (rollout.reward <= 0.0) {
+      ++result.invalid_samples;
+      invalid_episodes.Add();
+    }
+    episodes.Add();
+    reward_hist.Observe(rollout.reward);
   }
   return rollouts;
 }
@@ -63,8 +82,12 @@ PpoTrainer::IterationResult PpoTrainer::Iterate(GraphContext& context,
                                                 PartitionEnv& env) {
   const RlConfig& config = policy_.config();
   IterationResult result;
-  std::vector<Rollout> rollouts = CollectRollouts(
-      context, env, config.rollouts_per_update, result);
+  std::vector<Rollout> rollouts;
+  {
+    MCM_TRACE_SPAN("rl/collect");
+    rollouts =
+        CollectRollouts(context, env, config.rollouts_per_update, result);
+  }
 
   RunningStats reward_stats;
   for (const Rollout& rollout : rollouts) reward_stats.Add(rollout.reward);
@@ -84,6 +107,12 @@ PpoTrainer::IterationResult PpoTrainer::Iterate(GraphContext& context,
   }
 
   // PPO epochs over shuffled minibatches.
+  MCM_TRACE_SPAN("rl/update");
+  static telemetry::Counter& policy_updates =
+      telemetry::Counter::Get("rl/policy_updates");
+  static telemetry::Counter& minibatches =
+      telemetry::Counter::Get("rl/minibatches");
+  policy_updates.Add();
   std::vector<const Rollout*> pool;
   pool.reserve(rollouts.size());
   for (const Rollout& rollout : rollouts) pool.push_back(&rollout);
@@ -102,6 +131,7 @@ PpoTrainer::IterationResult PpoTrainer::Iterate(GraphContext& context,
       loss_stats.Add(static_cast<double>(tape.value(loss).at(0, 0)));
       tape.Backward(loss);
       adam_.Step();
+      minibatches.Add();
     }
   }
   result.mean_loss = loss_stats.Mean();

@@ -1,10 +1,30 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/env.h"
+#include "telemetry/metrics.h"
 
 namespace mcm {
+namespace {
+
+constexpr double kQueueWaitMicrosBounds[] = {1.0,    10.0,    100.0,  1000.0,
+                                             10000.0, 100000.0, 1000000.0};
+
+telemetry::Counter& TasksSubmitted() {
+  static telemetry::Counter& counter =
+      telemetry::Counter::Get("runtime/tasks_submitted");
+  return counter;
+}
+
+telemetry::Counter& TasksExecuted() {
+  static telemetry::Counter& counter =
+      telemetry::Counter::Get("runtime/tasks_executed");
+  return counter;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
@@ -24,14 +44,28 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  TasksSubmitted().Add();
   if (workers_.empty()) {
     // No background workers: run inline so submitted work still happens.
     fn();
+    TasksExecuted().Add();
     return;
   }
+  // Submit is coarse (once per helper per ParallelFor, once per TaskGroup
+  // task), so a clock read here stays off the per-iteration hot path.
+  static telemetry::Histogram& queue_wait = telemetry::Histogram::Get(
+      "runtime/queue_wait_us", kQueueWaitMicrosBounds);
+  const auto enqueued = std::chrono::steady_clock::now();
+  auto job = [fn = std::move(fn), enqueued] {
+    queue_wait.Observe(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - enqueued)
+                           .count());
+    fn();
+    TasksExecuted().Add();
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(std::move(job));
   }
   cv_.notify_one();
 }
@@ -98,6 +132,12 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
                              const std::function<void(std::int64_t)>& fn) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
+  static telemetry::Counter& parallel_fors =
+      telemetry::Counter::Get("runtime/parallel_fors");
+  static telemetry::Counter& parallel_iterations =
+      telemetry::Counter::Get("runtime/parallel_iterations");
+  parallel_fors.Add();
+  parallel_iterations.Add(n);
   if (num_threads_ <= 1 || n == 1) {
     for (std::int64_t i = begin; i < end; ++i) fn(i);
     return;

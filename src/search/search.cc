@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "runtime/thread_pool.h"
 #include "solver/modes.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace mcm {
 
@@ -39,6 +41,10 @@ std::optional<std::size_t> SearchTrace::SamplesToReach(
 
 SearchTrace RandomSearch::Run(GraphContext& context, PartitionEnv& env,
                               int budget) {
+  MCM_TRACE_SPAN("search/random");
+  static telemetry::Counter& samples =
+      telemetry::Counter::Get("search/random_samples");
+  samples.Add(budget);
   SearchTrace trace;
   trace.strategy = name();
   const ProbMatrix uniform = ProbMatrix::Uniform(
@@ -96,6 +102,10 @@ void RandomizeRow(std::span<double> row, double concentration, Rng& rng) {
 
 SearchTrace SimulatedAnnealing::Run(GraphContext& context, PartitionEnv& env,
                                     int budget) {
+  MCM_TRACE_SPAN("search/sa");
+  static telemetry::Counter& proposals =
+      telemetry::Counter::Get("search/sa_proposals");
+  proposals.Add(budget);
   SearchTrace trace;
   trace.strategy = name();
   const int n = context.num_nodes();
@@ -144,6 +154,7 @@ SearchTrace SimulatedAnnealing::Run(GraphContext& context, PartitionEnv& env,
 
 SearchTrace RlSearch::Run(GraphContext& context, PartitionEnv& env,
                           int budget) {
+  MCM_TRACE_SPAN("search/rl");
   SearchTrace trace;
   trace.strategy = name();
   const int per_update = trainer_.policy().config().rollouts_per_update;
@@ -174,6 +185,7 @@ SearchTrace NoSolverRlSearch::Run(GraphContext& context, PartitionEnv& env,
   MCM_CHECK(policy_->config().solver_mode == RlConfig::SolverMode::kNone)
       << "NoSolverRlSearch requires a policy configured with "
          "SolverMode::kNone";
+  MCM_TRACE_SPAN("search/rl_no_solver");
   SearchTrace trace;
   trace.strategy = name();
   const int per_update = policy_->config().rollouts_per_update;

@@ -5,9 +5,30 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace mcm {
 namespace {
+
+// Telemetry is write-only: recording reads no RNG and never feeds back into
+// the solve, so results stay bit-identical with telemetry on or off.
+void RecordSolveTelemetry(const CpSolver::Stats& before,
+                          const CpSolver::Stats& after,
+                          const SolveResult& result) {
+  static telemetry::Counter& propagations =
+      telemetry::Counter::Get("solver/propagations");
+  static telemetry::Counter& backtracks =
+      telemetry::Counter::Get("solver/backtracks");
+  static telemetry::Counter& set_domain_calls =
+      telemetry::Counter::Get("solver/set_domain_calls");
+  static telemetry::Counter& failures =
+      telemetry::Counter::Get("solver/solve_failures");
+  propagations.Add(after.propagations - before.propagations);
+  backtracks.Add(after.backtracks - before.backtracks);
+  set_domain_calls.Add(result.set_domain_calls);
+  if (!result.success) failures.Add();
+}
 
 // Defensive ceiling on solver work: a solve that exceeds this many SetDomain
 // calls (heavy thrashing) is reported as a failure rather than looping.
@@ -164,8 +185,10 @@ std::vector<int> AlapRandomTopologicalOrder(const Graph& graph, Rng& rng) {
   return order;
 }
 
-SolveResult SolveSample(CpSolver& solver, std::span<const int> order,
-                        const ProbMatrix& probs, Rng& rng) {
+namespace {
+
+SolveResult SolveSampleImpl(CpSolver& solver, std::span<const int> order,
+                            const ProbMatrix& probs, Rng& rng) {
   const int n = solver.num_nodes();
   MCM_CHECK_EQ(static_cast<int>(order.size()), n);
   MCM_CHECK_EQ(probs.num_nodes, n);
@@ -207,8 +230,8 @@ SolveResult SolveSample(CpSolver& solver, std::span<const int> order,
   return result;
 }
 
-SolveResult SolveFix(CpSolver& solver, std::span<const int> order,
-                     const Partition& candidate, Rng& rng) {
+SolveResult SolveFixImpl(CpSolver& solver, std::span<const int> order,
+                         const Partition& candidate, Rng& rng) {
   const int n = solver.num_nodes();
   MCM_CHECK_EQ(static_cast<int>(order.size()), n);
   MCM_CHECK_EQ(static_cast<int>(candidate.assignment.size()), n);
@@ -255,6 +278,45 @@ SolveResult SolveFix(CpSolver& solver, std::span<const int> order,
   result.success = true;
   for (int u = 0; u < n; ++u) {
     if (result.partition.chip(u) == candidate.chip(u)) ++result.nodes_kept;
+  }
+  return result;
+}
+
+}  // namespace
+
+SolveResult SolveSample(CpSolver& solver, std::span<const int> order,
+                        const ProbMatrix& probs, Rng& rng) {
+  MCM_TRACE_SPAN("solver/sample");
+  static telemetry::Counter& sample_solves =
+      telemetry::Counter::Get("solver/sample_solves");
+  const CpSolver::Stats before = solver.stats();
+  const SolveResult result = SolveSampleImpl(solver, order, probs, rng);
+  sample_solves.Add();
+  RecordSolveTelemetry(before, solver.stats(), result);
+  return result;
+}
+
+SolveResult SolveFix(CpSolver& solver, std::span<const int> order,
+                     const Partition& candidate, Rng& rng) {
+  MCM_TRACE_SPAN("solver/fix");
+  static telemetry::Counter& fix_solves =
+      telemetry::Counter::Get("solver/fix_solves");
+  static telemetry::Counter& already_feasible =
+      telemetry::Counter::Get("solver/fix_already_feasible");
+  static telemetry::Counter& repaired =
+      telemetry::Counter::Get("solver/fix_repaired");
+  const CpSolver::Stats before = solver.stats();
+  const SolveResult result = SolveFixImpl(solver, order, candidate, rng);
+  fix_solves.Add();
+  RecordSolveTelemetry(before, solver.stats(), result);
+  if (result.success) {
+    // A repair that keeps every node is the Algorithm 2 fast path: the
+    // policy's proposal was already feasible.
+    if (result.nodes_kept == solver.num_nodes()) {
+      already_feasible.Add();
+    } else {
+      repaired.Add();
+    }
   }
   return result;
 }

@@ -1,0 +1,149 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms.
+//
+// Recording is designed for the hot paths scheduled on the runtime worker
+// pool (runtime/thread_pool.h):
+//
+//  * Counters and histograms are sharded per thread.  Each (metric, thread)
+//    pair owns a private cell of relaxed atomics; recording is one relaxed
+//    fetch_add on an uncontended cache line, TSan-clean by construction, and
+//    shards only merge when a snapshot is taken.  Cells of exited threads
+//    stay owned by the metric, so cumulative values survive thread churn.
+//  * Gauges are process-global relaxed atomics.  `SetMax` folds with max,
+//    which commutes, so its final value is schedule-independent; plain `Set`
+//    is last-write-wins and belongs in serial code.
+//
+// Telemetry is strictly write-only with respect to the computation: nothing
+// in the library reads an RNG or branches on recorded state, so every
+// partition, reward, checkpoint, and bench number is bit-identical with
+// telemetry on or off, at any thread count (tests/telemetry_test.cc).
+//
+// Metric handles are interned by name and never freed; hot call sites cache
+// the reference once:
+//
+//   static Counter& repairs = Counter::Get("solver/fix_repaired");
+//   repairs.Add();
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcm::telemetry {
+
+namespace internal {
+struct CounterCell;
+struct HistogramCell;
+}  // namespace internal
+
+// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  // Interns (or finds) the counter named `name`.  The reference is valid for
+  // the process lifetime.
+  static Counter& Get(std::string_view name);
+
+  void Add(std::int64_t delta = 1);
+  // Merged value across all thread shards (including exited threads).
+  std::int64_t Value() const;
+  const std::string& name() const { return name_; }
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class Registry;
+  Counter(std::string name, int id);
+
+  internal::CounterCell* NewCellLocked();
+
+  const std::string name_;
+  const int id_;  // Index into the per-thread cell table.
+  mutable std::mutex mu_;  // Guards cells_ (structure only; cells are atomic).
+  std::vector<std::unique_ptr<internal::CounterCell>> cells_;
+};
+
+// Last-written double value; SetMax retains the maximum seen.
+class Gauge {
+ public:
+  static Gauge& Get(std::string_view name);
+
+  // Last-write-wins; call from serial code if a deterministic value matters.
+  void Set(double value);
+  // Folds with max (commutative): deterministic under any schedule.
+  void SetMax(double value);
+  double Value() const;
+  const std::string& name() const { return name_; }
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name);
+
+  struct Impl;
+  const std::string name_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Fixed-bucket histogram.  `bounds` are the ascending inclusive upper bounds
+// of the finite buckets; a value v lands in the first bucket with
+// v <= bounds[i], or in the trailing overflow bucket.
+class Histogram {
+ public:
+  // Interns the histogram; the first registration fixes the bucket bounds
+  // and later calls with the same name ignore their `bounds` argument.
+  static Histogram& Get(std::string_view name, std::span<const double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::int64_t> buckets;  // bounds.size() + 1, overflow last.
+    std::int64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot Snap() const;
+  const std::string& name() const { return name_; }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, int id, std::vector<double> bounds);
+
+  internal::HistogramCell* NewCellLocked();
+
+  const std::string name_;
+  const int id_;
+  const std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<internal::HistogramCell>> cells_;
+};
+
+// A merged, name-sorted view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+MetricsSnapshot SnapshotMetrics();
+
+// Zeroes every metric (counters, gauges, histogram shards).  Only safe when
+// no recording is in flight; intended for tests.
+void ResetMetricsForTest();
+
+// Interns the canonical instrumentation names used across the stack so that
+// exported metrics JSON always carries the solver/hwsim/rl/pipeline/runtime
+// keys, even for runs that never exercised a layer (counters read 0).
+// Called by the CLI and the bench harness before any work runs.
+void RegisterStandardMetrics();
+
+}  // namespace mcm::telemetry

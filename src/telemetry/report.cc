@@ -1,0 +1,145 @@
+#include "telemetry/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace mcm::telemetry {
+
+namespace {
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendJsonDouble(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";  // JSON has no NaN/Inf literal.
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+template <typename Map, typename AppendValue>
+void AppendJsonObject(std::string& out, const Map& map,
+                      AppendValue&& append_value) {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(out, key);
+    out.push_back(':');
+    append_value(out, value);
+  }
+  out.push_back('}');
+}
+
+void AppendHistogramSnapshot(std::string& out,
+                             const Histogram::Snapshot& snapshot) {
+  out += "{\"bounds\":[";
+  for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonDouble(out, snapshot.bounds[i]);
+  }
+  out += "],\"buckets\":[";
+  for (std::size_t i = 0; i < snapshot.buckets.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(snapshot.buckets[i]);
+  }
+  out += "],\"count\":";
+  out += std::to_string(snapshot.count);
+  out += ",\"sum\":";
+  AppendJsonDouble(out, snapshot.sum);
+  out.push_back('}');
+}
+
+}  // namespace
+
+void RunReport::AddPhaseSeconds(std::string_view phase, double seconds) {
+  phases_[std::string(phase)] += seconds;
+}
+
+void RunReport::SetValue(std::string_view key, double value) {
+  values_[std::string(key)] = value;
+}
+
+void RunReport::SetString(std::string_view key, std::string_view value) {
+  strings_[std::string(key)] = std::string(value);
+}
+
+std::string RunReport::ToJson() const {
+  const MetricsSnapshot metrics = SnapshotMetrics();
+
+  std::string out = "{\"name\":";
+  AppendJsonString(out, name_);
+
+  out += ",\"phases\":";
+  AppendJsonObject(out, phases_,
+                   [](std::string& o, double v) { AppendJsonDouble(o, v); });
+  out += ",\"values\":";
+  AppendJsonObject(out, values_,
+                   [](std::string& o, double v) { AppendJsonDouble(o, v); });
+  out += ",\"strings\":";
+  AppendJsonObject(out, strings_, [](std::string& o, const std::string& v) {
+    AppendJsonString(o, v);
+  });
+
+  // SnapshotMetrics() returns name-sorted vectors, matching the std::map
+  // iteration order used above.
+  out += ",\"metrics\":{\"counters\":";
+  AppendJsonObject(out, metrics.counters, [](std::string& o, std::int64_t v) {
+    o += std::to_string(v);
+  });
+  out += ",\"gauges\":";
+  AppendJsonObject(out, metrics.gauges,
+                   [](std::string& o, double v) { AppendJsonDouble(o, v); });
+  out += ",\"histograms\":";
+  AppendJsonObject(out, metrics.histograms,
+                   [](std::string& o, const Histogram::Snapshot& v) {
+                     AppendHistogramSnapshot(o, v);
+                   });
+  out += "}}\n";
+  return out;
+}
+
+bool RunReport::Write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    MCM_LOG(kWarning) << "cannot open report output " << path;
+    return false;
+  }
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mcm::telemetry

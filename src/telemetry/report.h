@@ -1,0 +1,77 @@
+// Structured run reports: a metrics snapshot plus per-phase wall times and
+// arbitrary scalar/string results, serialized to a stable JSON layout.
+//
+//   {
+//     "name": "fig5_pretrain_curves",
+//     "phases": {"pretrain": 12.31, ...},          // seconds
+//     "values": {"final/rl": 1.83, ...},
+//     "strings": {"scale": "quick", ...},
+//     "metrics": {
+//       "counters": {"solver/fix_repaired": 42, ...},
+//       "gauges": {...},
+//       "histograms": {"rl/reward": {"bounds": [...], "buckets": [...],
+//                                    "count": N, "sum": S}, ...}
+//     }
+//   }
+//
+// The CLI writes one for --metrics-out, the benches one per binary
+// (BENCH_<name>.json).  Keys within each object are emitted sorted, so
+// reports diff cleanly across runs.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace mcm::telemetry {
+
+class RunReport {
+ public:
+  explicit RunReport(std::string name) : name_(std::move(name)) {}
+
+  // Records a phase duration in seconds; repeated calls accumulate.
+  void AddPhaseSeconds(std::string_view phase, double seconds);
+  void SetValue(std::string_view key, double value);
+  void SetString(std::string_view key, std::string_view value);
+
+  // Serializes the report plus a fresh SnapshotMetrics() to JSON.
+  std::string ToJson() const;
+  // Writes ToJson() to `path`; returns false (with a warning) on I/O error.
+  bool Write(const std::string& path) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, double> phases_;
+  std::map<std::string, double> values_;
+  std::map<std::string, std::string> strings_;
+};
+
+// Accumulates wall time into `report`'s phase `phase` on destruction.
+class PhaseTimer {
+ public:
+  PhaseTimer(RunReport& report, std::string phase)
+      : report_(report),
+        phase_(std::move(phase)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    report_.AddPhaseSeconds(
+        phase_, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  RunReport& report_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mcm::telemetry

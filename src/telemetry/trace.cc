@@ -1,0 +1,191 @@
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace mcm::telemetry {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+struct TraceEvent {
+  std::string name;
+  std::int64_t start_us;
+  std::int64_t dur_us;
+};
+
+// One buffer per recording thread.  The owning thread appends under its own
+// mutex (uncontended in steady state); the exporter takes the same mutex to
+// copy events out.  Buffers are shared_ptr-owned by both the thread_local
+// handle and the global list, so events of exited threads survive to export.
+struct ThreadBuffer {
+  explicit ThreadBuffer(int tid) : tid(tid) {}
+  const int tid;
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+struct BufferList {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferList& Buffers() {
+  static BufferList* list = new BufferList;
+  return *list;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    BufferList& list = Buffers();
+    std::lock_guard<std::mutex> lock(list.mu);
+    auto created =
+        std::make_shared<ThreadBuffer>(static_cast<int>(list.buffers.size()));
+    list.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point TraceOrigin() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return origin;
+}
+
+std::string& TracePathStorage() {
+  static std::string* path = new std::string;
+  return *path;
+}
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+namespace internal {
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+std::int64_t TraceNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceOrigin())
+      .count();
+}
+
+void RecordSpan(std::string_view name, std::int64_t start_us,
+                std::int64_t end_us) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(
+      TraceEvent{std::string(name), start_us, end_us - start_us});
+}
+
+}  // namespace internal
+
+void EnableTracing(bool enabled) {
+  if (enabled) TraceOrigin();  // Pin the clock origin before the first span.
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() { return internal::TracingEnabled(); }
+
+void ClearTraceForTest() {
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (auto& buffer : list.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+bool WriteTrace(const std::string& path) {
+  std::string json = "{\"traceEvents\":[";
+  bool first = true;
+  {
+    BufferList& list = Buffers();
+    std::lock_guard<std::mutex> lock(list.mu);
+    for (const auto& buffer : list.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      for (const TraceEvent& event : buffer->events) {
+        if (!first) json.push_back(',');
+        first = false;
+        json += "{\"name\":";
+        AppendJsonString(json, event.name);
+        json += ",\"cat\":\"mcm\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        json += std::to_string(buffer->tid);
+        json += ",\"ts\":";
+        json += std::to_string(event.start_us);
+        json += ",\"dur\":";
+        json += std::to_string(event.dur_us);
+        json += "}";
+      }
+    }
+  }
+  json += "]}\n";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    MCM_LOG(kWarning) << "cannot open trace output " << path;
+    return false;
+  }
+  out << json;
+  return static_cast<bool>(out);
+}
+
+void SetTracePath(std::string path) {
+  TracePathStorage() = std::move(path);
+  EnableTracing(!TracePathStorage().empty());
+}
+
+const std::string& TracePath() { return TracePathStorage(); }
+
+bool WriteTraceIfConfigured() {
+  const std::string& path = TracePathStorage();
+  if (path.empty()) return true;
+  return WriteTrace(path);
+}
+
+void InitTelemetryFromEnv() {
+  const std::optional<std::string> path = GetEnv("MCMPART_TRACE");
+  if (path.has_value() && !path->empty()) SetTracePath(*path);
+}
+
+}  // namespace mcm::telemetry

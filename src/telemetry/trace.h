@@ -1,0 +1,99 @@
+// RAII trace spans exportable as Chrome trace-event JSON.
+//
+// Spans are buffered per thread (a mutex-guarded buffer per thread, touched
+// only by its owner except at export time) and only recorded while tracing is
+// enabled.  When tracing is off — the default — constructing a span costs one
+// relaxed atomic load and touches no clock, so instrumented hot paths stay
+// free.  Like the metrics registry, tracing is write-only with respect to the
+// computation: no RNG reads, no branching on recorded state, so results are
+// bit-identical with tracing on or off at any thread count.
+//
+// Usage:
+//
+//   void Solve() {
+//     MCM_TRACE_SPAN("solver/solve");
+//     ...
+//   }
+//
+// Enable with EnableTracing() (the CLI maps --trace-out / MCMPART_TRACE to
+// it) and export with WriteTrace(path), which emits
+// {"traceEvents":[{"ph":"X",...}]} — loadable in Perfetto or
+// chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcm::telemetry {
+
+namespace internal {
+
+bool TracingEnabled();  // One relaxed load.
+
+// Records a complete ("ph":"X") event for the calling thread.  Timestamps
+// are microseconds from a process-wide steady-clock origin.
+void RecordSpan(std::string_view name, std::int64_t start_us,
+                std::int64_t end_us);
+
+std::int64_t TraceNowMicros();
+
+}  // namespace internal
+
+// A scoped trace span.  `name` must outlive the span; string literals are
+// the intended use.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) {
+    if (internal::TracingEnabled()) {
+      name_ = name;
+      start_us_ = internal::TraceNowMicros();
+      armed_ = true;
+    }
+  }
+  ~TraceSpan() {
+    if (armed_ && internal::TracingEnabled()) {
+      internal::RecordSpan(name_, start_us_, internal::TraceNowMicros());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string_view name_;
+  std::int64_t start_us_ = 0;
+  bool armed_ = false;
+};
+
+#define MCM_TRACE_SPAN_CONCAT2(a, b) a##b
+#define MCM_TRACE_SPAN_CONCAT(a, b) MCM_TRACE_SPAN_CONCAT2(a, b)
+// Opens a span covering the rest of the enclosing scope.
+#define MCM_TRACE_SPAN(name)                                    \
+  ::mcm::telemetry::TraceSpan MCM_TRACE_SPAN_CONCAT(            \
+      mcm_trace_span_, __LINE__)(name)
+
+// Turns span recording on or off.  Spans already in flight when tracing
+// flips off are dropped at destruction time without being recorded.
+void EnableTracing(bool enabled = true);
+bool TracingEnabled();
+
+// Drops every buffered event.  Only safe when no span is in flight;
+// intended for tests.
+void ClearTraceForTest();
+
+// Writes all buffered events as Chrome trace-event JSON.  Returns false if
+// the file cannot be opened.
+bool WriteTrace(const std::string& path);
+
+// Remembers `path` and enables tracing; WriteTraceIfConfigured() exports to
+// it.  Lets main() configure once and flush at every exit point.
+void SetTracePath(std::string path);
+const std::string& TracePath();
+bool WriteTraceIfConfigured();
+
+// Reads MCMPART_TRACE; when set and non-empty, equivalent to
+// SetTracePath(value).  Called from CLI and bench mains.
+void InitTelemetryFromEnv();
+
+}  // namespace mcm::telemetry

@@ -1,0 +1,442 @@
+// Tests for the telemetry subsystem: shard-merge correctness under
+// ParallelFor, histogram bucket-edge semantics, Chrome-trace JSON
+// well-formedness, run-report serialization, and the determinism contract:
+// PPO and search results must be bit-identical with telemetry enabled or
+// disabled, at any thread count.
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.h"
+#include "graph/generators.h"
+#include "rl/env.h"
+#include "rl/policy.h"
+#include "rl/ppo.h"
+#include "runtime/thread_pool.h"
+#include "search/search.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+#include "telemetry/trace.h"
+
+namespace mcm {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::RunReport;
+
+// ---- A minimal JSON well-formedness checker ---------------------------------
+// Enough of RFC 8259 to reject anything structurally broken (unbalanced
+// braces, bad escapes, trailing garbage); we only produce objects, arrays,
+// strings, numbers, and null.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool ParseValue() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseString() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // Raw control.
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          if (pos_ + 4 >= text_.size()) return false;
+          for (int k = 1; k <= 4; ++k) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + k]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // Unterminated.
+  }
+
+  bool ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::int64_t CounterValue(const telemetry::MetricsSnapshot& snap,
+                          std::string_view name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return -1;
+}
+
+// ---- Metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, CounterMergesThreadShardsUnderParallelFor) {
+  Counter& counter = Counter::Get("test/parallel_hits");
+  const std::int64_t before = counter.Value();
+  constexpr std::int64_t kN = 5000;
+  ThreadPool pool(4);
+  pool.ParallelFor(0, kN, [&](std::int64_t) { counter.Add(); });
+  EXPECT_EQ(counter.Value() - before, kN);
+  // A second wave re-uses the per-thread cells and keeps accumulating.
+  pool.ParallelFor(0, kN, [&](std::int64_t) { counter.Add(2); });
+  EXPECT_EQ(counter.Value() - before, 3 * kN);
+}
+
+TEST(MetricsTest, CounterSurvivesThreadExit) {
+  Counter& counter = Counter::Get("test/thread_churn");
+  const std::int64_t before = counter.Value();
+  {
+    ThreadPool pool(3);
+    pool.ParallelFor(0, 100, [&](std::int64_t) { counter.Add(); });
+  }  // Pool (and its threads) destroyed; shards stay owned by the metric.
+  EXPECT_EQ(counter.Value() - before, 100);
+}
+
+TEST(MetricsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram& h = Histogram::Get("test/edges", bounds);
+  const Histogram::Snapshot before = h.Snap();
+  ASSERT_EQ(before.bounds, std::vector<double>({1.0, 2.0, 4.0}));
+  ASSERT_EQ(before.buckets.size(), 4u);  // Three finite + overflow.
+
+  h.Observe(-5.0);  // Below the first bound: first bucket.
+  h.Observe(1.0);   // Exactly on a bound: that bucket (inclusive upper).
+  h.Observe(1.5);
+  h.Observe(2.0);
+  h.Observe(4.0);
+  h.Observe(4.0001);  // Above the last bound: overflow.
+
+  const Histogram::Snapshot after = h.Snap();
+  std::vector<std::int64_t> delta(after.buckets.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = after.buckets[i] - before.buckets[i];
+  }
+  EXPECT_EQ(delta, std::vector<std::int64_t>({2, 2, 1, 1}));
+  EXPECT_EQ(after.count - before.count, 6);
+  EXPECT_DOUBLE_EQ(after.sum - before.sum, -5.0 + 1.0 + 1.5 + 2.0 + 4.0 + 4.0001);
+}
+
+TEST(MetricsTest, HistogramMergesShardsUnderParallelFor) {
+  const double bounds[] = {10.0, 100.0};
+  Histogram& h = Histogram::Get("test/parallel_hist", bounds);
+  const Histogram::Snapshot before = h.Snap();
+  constexpr std::int64_t kN = 3000;
+  ThreadPool pool(4);
+  pool.ParallelFor(0, kN, [&](std::int64_t i) {
+    h.Observe(static_cast<double>(i % 200));  // Deterministic per index.
+  });
+  const Histogram::Snapshot after = h.Snap();
+  EXPECT_EQ(after.count - before.count, kN);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < after.buckets.size(); ++i) {
+    total += after.buckets[i] - before.buckets[i];
+  }
+  EXPECT_EQ(total, kN);  // Every observation landed in exactly one bucket.
+}
+
+TEST(MetricsTest, GaugeSetMaxIsCommutative) {
+  Gauge& g = Gauge::Get("test/max_gauge");
+  g.Set(0.0);
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 1000, [&](std::int64_t i) {
+    g.SetMax(static_cast<double>(i));
+  });
+  EXPECT_EQ(g.Value(), 999.0);
+  g.SetMax(5.0);  // Lower value does not regress the max.
+  EXPECT_EQ(g.Value(), 999.0);
+}
+
+TEST(MetricsTest, SnapshotIsNameSortedAndIncludesStandardNames) {
+  telemetry::RegisterStandardMetrics();
+  const telemetry::MetricsSnapshot snap = telemetry::SnapshotMetrics();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+  EXPECT_GE(CounterValue(snap, "solver/fix_repaired"), 0);
+  EXPECT_GE(CounterValue(snap, "hwsim/oom_rejections"), 0);
+  EXPECT_GE(CounterValue(snap, "rl/episodes"), 0);
+}
+
+// ---- Trace ------------------------------------------------------------------
+
+TEST(TraceTest, DisabledTracingRecordsNothing) {
+  telemetry::EnableTracing(false);
+  telemetry::ClearTraceForTest();
+  { MCM_TRACE_SPAN("should/not/appear"); }
+  telemetry::EnableTracing(true);
+  const std::string path = testing::TempDir() + "mcm_trace_empty.json";
+  ASSERT_TRUE(telemetry::WriteTrace(path));
+  telemetry::EnableTracing(false);
+  const std::string text = ReadFile(path);
+  EXPECT_TRUE(JsonChecker(text).Valid()) << text;
+  EXPECT_EQ(text.find("should/not/appear"), std::string::npos);
+}
+
+TEST(TraceTest, WritesWellFormedChromeTraceJson) {
+  telemetry::ClearTraceForTest();
+  telemetry::EnableTracing(true);
+  {
+    MCM_TRACE_SPAN("outer/phase");
+    { MCM_TRACE_SPAN("inner \"quoted\"\nname\t\\slash"); }  // Needs escaping.
+    ThreadPool pool(4);
+    pool.ParallelFor(0, 16, [](std::int64_t) {
+      MCM_TRACE_SPAN("worker/span");
+    });
+  }
+  const std::string path = testing::TempDir() + "mcm_trace.json";
+  ASSERT_TRUE(telemetry::WriteTrace(path));
+  telemetry::EnableTracing(false);
+  telemetry::ClearTraceForTest();
+
+  const std::string text = ReadFile(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(JsonChecker(text).Valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"outer/phase\""), std::string::npos);
+  EXPECT_NE(text.find("\"worker/span\""), std::string::npos);
+  // Complete events carry the Chrome trace-event fields.
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"pid\""), std::string::npos);
+  EXPECT_NE(text.find("\"tid\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\""), std::string::npos);
+  EXPECT_NE(text.find("\"dur\""), std::string::npos);
+  // The escaped name round-trips without raw control characters.
+  EXPECT_NE(text.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+}
+
+// ---- Run reports ------------------------------------------------------------
+
+TEST(RunReportTest, SerializesStableWellFormedJson) {
+  RunReport report("unit_test");
+  report.AddPhaseSeconds("solve", 1.25);
+  report.AddPhaseSeconds("solve", 0.25);  // Accumulates.
+  report.SetValue("answer", 42.0);
+  report.SetValue("not_finite", std::numeric_limits<double>::quiet_NaN());
+  report.SetString("scale", "quick \"q\"");
+  const std::string json = report.ToJson();
+
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"name\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"solve\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"answer\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"not_finite\":null"), std::string::npos);  // NaN.
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(RunReportTest, WriteProducesReadableFile) {
+  RunReport report("write_test");
+  report.SetValue("x", 1.0);
+  const std::string path = testing::TempDir() + "mcm_report.json";
+  ASSERT_TRUE(report.Write(path));
+  const std::string text = ReadFile(path);
+  EXPECT_TRUE(JsonChecker(text).Valid()) << text;
+  EXPECT_NE(text.find("\"write_test\""), std::string::npos);
+}
+
+// ---- Determinism: telemetry on/off ------------------------------------------
+// The contract from src/telemetry/metrics.h: telemetry is write-only with
+// respect to the computation, so every reward, parameter, and search result
+// is bit-identical with telemetry enabled or disabled, at any thread count.
+
+RlConfig TinyConfig() {
+  RlConfig config = RlConfig::Quick();
+  config.gnn_layers = 2;
+  config.hidden_dim = 16;
+  config.rollouts_per_update = 6;
+  config.minibatches = 2;
+  config.epochs = 2;
+  config.seed = 5;
+  return config;
+}
+
+struct PpoRunResult {
+  std::vector<double> rewards;
+  double mean_loss = 0.0;
+  std::vector<Matrix> params;
+  std::vector<double> search_rewards;
+  double search_best = 0.0;
+};
+
+PpoRunResult RunPpoAndSearch(int threads, bool telemetry_on) {
+  SetDefaultThreadCount(threads);
+  telemetry::ResetMetricsForTest();
+  telemetry::ClearTraceForTest();
+  telemetry::EnableTracing(telemetry_on);
+
+  const Graph g = MakeMlp("m", 64, {64, 64}, 10);
+  AnalyticalCostModel model{McmConfig{}};
+  GraphContext context(g, 36);
+  Rng rng(3);
+  const BaselineResult baseline =
+      ComputeHeuristicBaseline(g, model, context.solver(), rng);
+  PartitionEnv env(g, model, baseline.eval.runtime_s);
+
+  PpoRunResult out;
+  {
+    PolicyNetwork policy(TinyConfig());
+    PpoTrainer trainer(policy, Rng(7));
+    const PpoTrainer::IterationResult result = trainer.Iterate(context, env);
+    out.rewards = result.rewards;
+    out.mean_loss = result.mean_loss;
+    out.params = SnapshotParams(policy.Params());
+  }
+  {
+    RandomSearch search{Rng(17)};
+    PartitionEnv search_env(g, model, baseline.eval.runtime_s);
+    const SearchTrace trace = search.Run(context, search_env, /*budget=*/30);
+    out.search_rewards = trace.rewards;
+    out.search_best = search_env.best_reward();
+  }
+
+  telemetry::EnableTracing(false);
+  telemetry::ClearTraceForTest();
+  return out;
+}
+
+void ExpectBitIdentical(const PpoRunResult& a, const PpoRunResult& b,
+                        const char* label) {
+  EXPECT_EQ(a.rewards, b.rewards) << label;
+  EXPECT_EQ(a.mean_loss, b.mean_loss) << label;
+  ASSERT_EQ(a.params.size(), b.params.size()) << label;
+  for (std::size_t p = 0; p < a.params.size(); ++p) {
+    EXPECT_EQ(a.params[p].data, b.params[p].data) << label << " param " << p;
+  }
+  EXPECT_EQ(a.search_rewards, b.search_rewards) << label;
+  EXPECT_EQ(a.search_best, b.search_best) << label;
+}
+
+TEST(DeterminismTest, TelemetryOnOffBitIdenticalAtOneAndFourThreads) {
+  const int before = DefaultThreadCount();
+  const PpoRunResult off1 = RunPpoAndSearch(1, /*telemetry_on=*/false);
+  const PpoRunResult on1 = RunPpoAndSearch(1, /*telemetry_on=*/true);
+  const PpoRunResult off4 = RunPpoAndSearch(4, /*telemetry_on=*/false);
+  const PpoRunResult on4 = RunPpoAndSearch(4, /*telemetry_on=*/true);
+  SetDefaultThreadCount(before);
+
+  ExpectBitIdentical(off1, on1, "telemetry on vs off, 1 thread");
+  ExpectBitIdentical(off4, on4, "telemetry on vs off, 4 threads");
+  ExpectBitIdentical(off1, off4, "1 vs 4 threads, telemetry off");
+  ExpectBitIdentical(on1, on4, "1 vs 4 threads, telemetry on");
+}
+
+TEST(DeterminismTest, InstrumentedRunPopulatesExpectedCounters) {
+  const int before = DefaultThreadCount();
+  RunPpoAndSearch(2, /*telemetry_on=*/true);
+  SetDefaultThreadCount(before);
+  const telemetry::MetricsSnapshot snap = telemetry::SnapshotMetrics();
+  EXPECT_GT(CounterValue(snap, "rl/episodes"), 0);
+  EXPECT_GT(CounterValue(snap, "rl/policy_updates"), 0);
+  EXPECT_GT(CounterValue(snap, "solver/sample_solves"), 0);
+  EXPECT_GT(CounterValue(snap, "search/random_samples"), 0);
+  EXPECT_GT(CounterValue(snap, "runtime/tasks_submitted"), 0);
+}
+
+}  // namespace
+}  // namespace mcm

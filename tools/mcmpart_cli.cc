@@ -17,12 +17,17 @@
 //                      else hardware concurrency); results are identical
 //                      for any N
 //     --out FILE       write "node chip" lines of the best partition
+//     --trace-out FILE    write Chrome trace-event JSON (spans)
+//     --metrics-out FILE  write a metrics/run-report JSON
+//   All options accept both "--flag value" and "--flag=value".
+//   MCMPART_TRACE=<file> enables tracing for any command.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "costmodel/cost_model.h"
 #include "graph/generators.h"
@@ -30,6 +35,9 @@
 #include "rl/env.h"
 #include "runtime/thread_pool.h"
 #include "search/search.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -65,6 +73,24 @@ Graph LoadGraph(const std::string& path) {
   return Graph::Deserialize(in);
 }
 
+// Flattens argv, splitting "--flag=value" into "--flag", "value" so both
+// spellings parse identically.
+std::vector<std::string> SplitFlagArgs(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  return args;
+}
+
 int RunPartition(const Graph& graph, int argc, char** argv) {
   int chips = 36;
   int budget = 200;
@@ -73,11 +99,16 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
   std::string objective_name = "throughput";
   std::uint64_t seed = 1;
   std::string out_path;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
-      return argv[++i];
+  std::string trace_path;
+  std::string metrics_path;
+  const std::vector<std::string> args = SplitFlagArgs(argc, argv);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error("missing value for " + arg);
+      }
+      return args[++i];
     };
     if (arg == "--chips") chips = std::stoi(next());
     else if (arg == "--budget") budget = std::stoi(next());
@@ -87,8 +118,17 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
     else if (arg == "--out") out_path = next();
+    else if (arg == "--trace-out") trace_path = next();
+    else if (arg == "--metrics-out") metrics_path = next();
     else throw std::runtime_error("unknown option: " + arg);
   }
+  if (!trace_path.empty()) telemetry::SetTracePath(trace_path);
+  telemetry::RunReport report("mcmpart_partition");
+  report.SetString("method", method);
+  report.SetString("model", model_name);
+  report.SetString("objective", objective_name);
+  report.SetValue("budget", budget);
+  report.SetValue("chips", chips);
 
   std::unique_ptr<CostModel> model;
   if (model_name == "analytical") {
@@ -104,8 +144,11 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
 
   GraphContext context(graph, chips);
   Rng rng(seed);
+  std::unique_ptr<telemetry::PhaseTimer> baseline_timer =
+      std::make_unique<telemetry::PhaseTimer>(report, "baseline");
   const BaselineResult baseline =
       ComputeHeuristicBaseline(graph, *model, context.solver(), rng);
+  baseline_timer.reset();
   if (!baseline.eval.valid) {
     throw std::runtime_error("heuristic baseline invalid on this model");
   }
@@ -132,10 +175,15 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
     throw std::runtime_error("unknown method: " + method);
   }
 
+  std::unique_ptr<telemetry::PhaseTimer> search_timer =
+      std::make_unique<telemetry::PhaseTimer>(report, "search");
   const SearchTrace trace = search->Run(context, env, budget);
+  search_timer.reset();
+  const double best_improvement =
+      trace.BestWithin(static_cast<std::size_t>(budget));
   std::printf("%s: best improvement %.4fx after %d evaluations\n",
-              search->name().c_str(),
-              trace.BestWithin(static_cast<std::size_t>(budget)), budget);
+              search->name().c_str(), best_improvement, budget);
+  report.SetValue("best_improvement", best_improvement);
 
   const Partition& best =
       env.has_best() ? env.best_partition() : baseline.partition;
@@ -146,6 +194,13 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
     SavePartition(best, out);
     std::printf("wrote best partition to %s\n", out_path.c_str());
   }
+  if (!metrics_path.empty() && report.Write(metrics_path)) {
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  // The trace itself is flushed by main() via WriteTraceIfConfigured().
+  if (!trace_path.empty()) {
+    std::printf("writing trace to %s\n", trace_path.c_str());
+  }
   return 0;
 }
 
@@ -153,6 +208,8 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  mcm::telemetry::InitTelemetryFromEnv();
+  mcm::telemetry::RegisterStandardMetrics();
   const std::string command = argv[1];
   try {
     if (command == "generate" && argc == 4) {
@@ -185,8 +242,13 @@ int main(int argc, char** argv) {
     }
     if (command == "partition" && argc >= 3) {
       const Graph graph = LoadGraph(argv[2]);
-      return RunPartition(graph, argc - 3, argv + 3);
+      const int result = RunPartition(graph, argc - 3, argv + 3);
+      // Flushes the MCMPART_TRACE-configured path (no-op when unset; the
+      // --trace-out path was already written inside RunPartition).
+      mcm::telemetry::WriteTraceIfConfigured();
+      return result;
     }
+    mcm::telemetry::WriteTraceIfConfigured();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
