@@ -126,11 +126,15 @@ void InitBenchRuntime(int argc, char** argv) {
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
       SetDefaultThreadCount(std::stoi(argv[i + 1]));
       ++i;
+    } else if (std::string(argv[i]) == "--eval-cache" && i + 1 < argc) {
+      SetDefaultEvalCacheCapacity(std::stoi(argv[i + 1]));
+      ++i;
     }
   }
   std::printf("# runtime: %d worker threads (override with --threads N or "
-              "MCMPART_THREADS)\n",
-              DefaultThreadCount());
+              "MCMPART_THREADS), eval cache %d entries (--eval-cache N or "
+              "MCMPART_EVAL_CACHE; 0 disables)\n",
+              DefaultThreadCount(), DefaultEvalCacheCapacity());
 }
 
 telemetry::RunReport MakeBenchReport(std::string_view name) {

@@ -1,17 +1,95 @@
-// Microbenchmarks for the neural-network substrate: GraphSAGE forward,
-// rollout sampling, and PPO updates at corpus and BERT scales.
+// Microbenchmarks for the neural-network substrate: the GEMM kernels
+// (blocked vs naive reference), GraphSAGE forward, rollout sampling, and
+// PPO updates at corpus and BERT scales.
 #include <benchmark/benchmark.h>
 
 #include "micro_common.h"
 
 #include "costmodel/cost_model.h"
 #include "graph/generators.h"
+#include "nn/matrix.h"
 #include "rl/env.h"
 #include "rl/policy.h"
 #include "rl/ppo.h"
 
 namespace mcm {
 namespace {
+
+// ---- GEMM kernels -----------------------------------------------------------
+//
+// Shape 0 ("small") is a quick-config layer product; shape 1 ("large") is a
+// BERT-scale embedding product, the case the blocked kernels and the
+// parallel path are for.  The *Reference benches run the retained naive
+// kernels on the same shapes, so a BENCH_micro_nn.json diff directly shows
+// the kernel speedup.
+struct GemmShape {
+  int m, k, n;
+};
+GemmShape GemmCase(int selector) {
+  return selector == 0 ? GemmShape{330, 48, 48} : GemmShape{2048, 128, 128};
+}
+
+Matrix RandomMatrix(int rows, int cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (float& x : m.data) {
+    x = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  }
+  return m;
+}
+
+template <void (*Kernel)(const Matrix&, const Matrix&, Matrix&, bool)>
+void GemmBench(benchmark::State& state, int a_rows, int a_cols, int b_rows,
+               int b_cols) {
+  const Matrix a = RandomMatrix(a_rows, a_cols, 11);
+  const Matrix b = RandomMatrix(b_rows, b_cols, 12);
+  Matrix out;
+  for (auto _ : state) {
+    Kernel(a, b, out, /*accumulate=*/false);
+    benchmark::DoNotOptimize(out.data.data());
+  }
+  state.counters["flops"] = 2.0 * a_rows * a_cols * b_cols;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const GemmShape s = GemmCase(static_cast<int>(state.range(0)));
+  GemmBench<MatMul>(state, s.m, s.k, s.k, s.n);
+}
+BENCHMARK(BM_MatMul)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulReference(benchmark::State& state) {
+  const GemmShape s = GemmCase(static_cast<int>(state.range(0)));
+  GemmBench<MatMulReference>(state, s.m, s.k, s.k, s.n);
+}
+BENCHMARK(BM_MatMulReference)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulTransA(benchmark::State& state) {
+  const GemmShape s = GemmCase(static_cast<int>(state.range(0)));
+  GemmBench<MatMulTransA>(state, s.m, s.k, s.m, s.n);
+}
+BENCHMARK(BM_MatMulTransA)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulTransAReference(benchmark::State& state) {
+  const GemmShape s = GemmCase(static_cast<int>(state.range(0)));
+  GemmBench<MatMulTransAReference>(state, s.m, s.k, s.m, s.n);
+}
+BENCHMARK(BM_MatMulTransAReference)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const GemmShape s = GemmCase(static_cast<int>(state.range(0)));
+  GemmBench<MatMulTransB>(state, s.m, s.k, s.n, s.k);
+}
+BENCHMARK(BM_MatMulTransB)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulTransBReference(benchmark::State& state) {
+  const GemmShape s = GemmCase(static_cast<int>(state.range(0)));
+  GemmBench<MatMulTransBReference>(state, s.m, s.k, s.n, s.k);
+}
+BENCHMARK(BM_MatMulTransBReference)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMicrosecond);
 
 const Graph& GraphForCase(int selector) {
   static const Graph medium = MakeResNet("resnet", ResNetConfig{});
@@ -29,12 +107,30 @@ void BM_GraphSageForward(benchmark::State& state) {
   const Graph& graph = GraphForCase(static_cast<int>(state.range(0)));
   GraphContext context(graph, 36);
   PolicyNetwork policy(BenchRlConfig());
+  // Disable the embedding cache so this measures the full forward pass.
+  policy.set_embedding_cache_enabled(false);
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy.PredictValue(context));
   }
   state.counters["nodes"] = graph.NumNodes();
 }
 BENCHMARK(BM_GraphSageForward)->DenseRange(0, 1)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void BM_GraphSageForwardCached(benchmark::State& state) {
+  const Graph& graph = GraphForCase(static_cast<int>(state.range(0)));
+  GraphContext context(graph, 36);
+  PolicyNetwork policy(BenchRlConfig());
+  policy.set_embedding_cache_enabled(true);
+  benchmark::DoNotOptimize(policy.PredictValue(context));  // Warm the cache.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.PredictValue(context));
+  }
+  state.counters["nodes"] = graph.NumNodes();
+}
+BENCHMARK(BM_GraphSageForwardCached)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(10);
 
 void BM_SampleRollout(benchmark::State& state) {
   const Graph& graph = GraphForCase(static_cast<int>(state.range(0)));

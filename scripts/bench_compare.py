@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<name>.json reports (or directories of them).
+
+The repo's benches (bench/) write machine-readable run reports named
+BENCH_<name>.json: "values" holds headline numbers (micro benches record
+"time_ns/<benchmark>" entries), "phases" holds per-phase wall seconds.
+This tool prints per-metric deltas between a baseline and a current run and
+exits non-zero when a *timing* metric (time_ns/* or any phase) regresses by
+more than the threshold, so CI can gate on it.  Non-timing values (rewards,
+curve finals, counters) are reported but never gate: they are expected to be
+bit-identical and belong to correctness tests, not perf thresholds.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [--threshold PCT] [--report-only]
+
+BASELINE and CURRENT are either two BENCH_*.json files or two directories;
+directories are matched by file name (only common names are compared).
+
+Typical invocations:
+  # Compare a fresh build's micro run against the committed baseline.
+  python3 scripts/bench_compare.py bench/baselines/BENCH_micro_nn.json \
+      build/bench/BENCH_micro_nn.json
+  # Report-only sweep over every committed baseline (CI bench-smoke job).
+  python3 scripts/bench_compare.py bench/baselines build/bench --report-only
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REGRESSION_PREFIXES = ("time_ns/", "phase/")
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    flat = {}
+    for key, value in report.get("values", {}).items():
+        if isinstance(value, (int, float)):
+            flat[key] = float(value)
+    for key, value in report.get("phases", {}).items():
+        if isinstance(value, (int, float)):
+            flat["phase/" + key] = float(value)
+    return flat
+
+
+def pair_files(baseline, current):
+    """Yields (label, baseline_path, current_path) pairs."""
+    if os.path.isdir(baseline) != os.path.isdir(current):
+        sys.exit("error: BASELINE and CURRENT must both be files or both "
+                 "be directories")
+    if not os.path.isdir(baseline):
+        yield os.path.basename(current), baseline, current
+        return
+    base_files = {f for f in os.listdir(baseline)
+                  if f.startswith("BENCH_") and f.endswith(".json")}
+    cur_files = {f for f in os.listdir(current)
+                 if f.startswith("BENCH_") and f.endswith(".json")}
+    for name in sorted(base_files & cur_files):
+        yield name, os.path.join(baseline, name), os.path.join(current, name)
+    for name in sorted(base_files - cur_files):
+        print(f"# {name}: present in baseline only, skipped")
+    for name in sorted(cur_files - base_files):
+        print(f"# {name}: present in current only, skipped")
+
+
+def is_timing(key):
+    return key.startswith(REGRESSION_PREFIXES)
+
+
+def compare(label, base, cur, threshold_pct):
+    """Prints the diff table; returns the list of regressed timing metrics."""
+    regressions = []
+    keys = sorted(set(base) | set(cur))
+    print(f"== {label}")
+    print(f"{'metric':<58} {'baseline':>14} {'current':>14} {'delta':>9}")
+    for key in keys:
+        if key not in base or key not in cur:
+            where = "baseline" if key in base else "current"
+            print(f"{key:<58} {'(only in ' + where + ')':>38}")
+            continue
+        b, c = base[key], cur[key]
+        if b == 0.0:
+            delta = "n/a" if c != 0.0 else "+0.0%"
+        else:
+            delta = f"{100.0 * (c - b) / b:+.1f}%"
+        flag = ""
+        if is_timing(key) and b > 0.0 and (c - b) / b * 100.0 > threshold_pct:
+            flag = "  REGRESSED"
+            regressions.append((label, key, b, c))
+        print(f"{key:<58} {b:>14.6g} {c:>14.6g} {delta:>9}{flag}")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="BENCH_*.json file or directory")
+    parser.add_argument("current", help="BENCH_*.json file or directory")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="timing regression threshold in percent "
+                             "(default: 25)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="always exit 0 (CI artifact mode)")
+    args = parser.parse_args()
+
+    all_regressions = []
+    compared = 0
+    for label, base_path, cur_path in pair_files(args.baseline, args.current):
+        all_regressions += compare(label, load_report(base_path),
+                                   load_report(cur_path), args.threshold)
+        compared += 1
+    if compared == 0:
+        sys.exit("error: no comparable BENCH_*.json pairs found")
+
+    if all_regressions:
+        print(f"\n{len(all_regressions)} timing metric(s) regressed more "
+              f"than {args.threshold:.1f}%:")
+        for label, key, b, c in all_regressions:
+            print(f"  {label}: {key}  {b:.6g} -> {c:.6g}")
+        if not args.report_only:
+            sys.exit(1)
+        print("(report-only mode: exiting 0)")
+    else:
+        print(f"\nno timing regressions beyond {args.threshold:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

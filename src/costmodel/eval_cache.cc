@@ -1,0 +1,89 @@
+#include "costmodel/eval_cache.h"
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "telemetry/metrics.h"
+
+namespace mcm {
+namespace {
+
+constexpr int kDefaultCapacity = 1024;
+
+int& CapacityOverride() {
+  static int override_capacity = -1;
+  return override_capacity;
+}
+
+}  // namespace
+
+int DefaultEvalCacheCapacity() {
+  if (CapacityOverride() >= 0) return CapacityOverride();
+  const std::int64_t from_env = GetEnvInt("MCMPART_EVAL_CACHE", kDefaultCapacity);
+  return from_env < 0 ? 0 : static_cast<int>(from_env);
+}
+
+void SetDefaultEvalCacheCapacity(int capacity) {
+  CapacityOverride() = capacity < 0 ? -1 : capacity;
+}
+
+std::size_t EvalCache::KeyHash::operator()(
+    const std::vector<int>& assignment) const {
+  std::uint64_t hash = 0x51ed270b861f2b4dull;
+  for (const int chip : assignment) {
+    hash = HashCombine(hash, static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(chip)));
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity) {
+  MCM_CHECK_GT(capacity, 0u);
+}
+
+std::size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+EvalResult EvalCache::Evaluate(const Graph& graph, CostModel& model,
+                               const Partition& partition) {
+  static telemetry::Counter& hit_counter =
+      telemetry::Counter::Get("costmodel/eval_cache_hits");
+  static telemetry::Counter& miss_counter =
+      telemetry::Counter::Get("costmodel/eval_cache_misses");
+  static telemetry::Counter& eviction_counter =
+      telemetry::Counter::Get("costmodel/eval_cache_evictions");
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(partition.assignment);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      hit_counter.Add();
+      return it->second->second;
+    }
+  }
+
+  // Miss: evaluate outside the lock (the model is stateless / thread-safe;
+  // concurrent misses on the same key just both compute the same result).
+  const EvalResult result = model.Evaluate(graph, partition);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter.Add();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.find(partition.assignment) == index_.end()) {
+    lru_.emplace_front(partition.assignment, result);
+    index_.emplace(partition.assignment, lru_.begin());
+    if (index_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      eviction_counter.Add();
+    }
+  }
+  return result;
+}
+
+}  // namespace mcm

@@ -1,0 +1,81 @@
+// Memoization cache in front of the cost models.
+//
+// Search and PPO repeatedly re-evaluate partitions they have already scored:
+// simulated annealing revisits neighbors, the solver maps many candidates to
+// the same corrected partition, and fine-tuning re-scores incumbents.  Both
+// bundled models are pure functions of (graph, partition) -- that is the
+// CostModel::Evaluate contract, and hwsim's measurement noise is a stateless
+// hash -- so their results can be memoized without changing any number a
+// run produces: a hit is bit-identical to a fresh evaluation.
+//
+// Keying: entries are looked up by a hash of the per-node chip assignment
+// (the canonical partition signature), and each entry stores the full
+// assignment vector which is compared on lookup, so hash collisions can
+// never return a wrong result.  Eviction is strict LRU.
+//
+// Thread safety: lookups/inserts take an internal mutex; the (expensive)
+// model evaluation on a miss runs outside the lock.  Hit/miss/eviction
+// counts are exposed per instance and mirrored into the telemetry registry
+// ("costmodel/eval_cache_*").
+//
+// Capacity: PartitionEnv consults DefaultEvalCacheCapacity(), which reads
+// the MCMPART_EVAL_CACHE environment variable (entries; 0 disables) and can
+// be overridden programmatically (the CLI/bench `--eval-cache` flag).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+
+namespace mcm {
+
+// Default capacity resolution: programmatic override (SetDefault...) if set,
+// else MCMPART_EVAL_CACHE, else 1024.  0 disables caching.
+int DefaultEvalCacheCapacity();
+// Overrides the default (negative clears the override).
+void SetDefaultEvalCacheCapacity(int capacity);
+
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t capacity);
+
+  // Returns model.Evaluate(graph, partition), served from the cache when
+  // this exact assignment was evaluated before.  Thread-safe.
+  EvalResult Evaluate(const Graph& graph, CostModel& model,
+                      const Partition& partition);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<int>& assignment) const;
+  };
+
+  using Entry = std::pair<std::vector<int>, EvalResult>;
+  using LruList = std::list<Entry>;  // Front = most recently used.
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;
+  std::unordered_map<std::vector<int>, LruList::iterator, KeyHash> index_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace mcm

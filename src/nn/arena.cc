@@ -1,0 +1,97 @@
+#include "nn/arena.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mcm {
+namespace {
+
+struct ThreadPoolState {
+  std::vector<std::vector<float>> buffers;
+  std::size_t reuses = 0;
+};
+
+ThreadPoolState& State() {
+  thread_local ThreadPoolState state;
+  return state;
+}
+
+// Picks the pooled buffer whose capacity fits `size` best (smallest capacity
+// >= size), falling back to the largest available buffer (which then grows
+// in place).  The pool stays small in practice -- a rollout cycles a few
+// dozen shapes -- so the linear scan is cheap.
+std::vector<float> TakeBuffer(std::size_t size) {
+  ThreadPoolState& state = State();
+  if (state.buffers.empty()) return {};
+  std::size_t best = 0;
+  bool best_fits = false;
+  for (std::size_t i = 0; i < state.buffers.size(); ++i) {
+    const std::size_t cap = state.buffers[i].capacity();
+    const bool fits = cap >= size;
+    if (fits && (!best_fits || cap < state.buffers[best].capacity())) {
+      best = i;
+      best_fits = true;
+    } else if (!best_fits && !fits && cap > state.buffers[best].capacity()) {
+      best = i;
+    }
+  }
+  std::vector<float> out = std::move(state.buffers[best]);
+  state.buffers[best] = std::move(state.buffers.back());
+  state.buffers.pop_back();
+  ++state.reuses;
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> ScratchArena::AcquireBuffer(std::size_t size) {
+  std::vector<float> buffer = TakeBuffer(size);
+  buffer.resize(size);
+  return buffer;
+}
+
+void ScratchArena::ReleaseBuffer(std::vector<float>&& buffer) {
+  if (buffer.capacity() == 0) return;
+  ThreadPoolState& state = State();
+  if (state.buffers.size() >= kMaxPooledBuffers) return;  // Drop: frees.
+  buffer.clear();
+  state.buffers.push_back(std::move(buffer));
+}
+
+Matrix ScratchArena::AcquireUninit(int rows, int cols) {
+  Matrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.data = AcquireBuffer(static_cast<std::size_t>(rows) * cols);
+  return m;
+}
+
+Matrix ScratchArena::AcquireZeroed(int rows, int cols) {
+  Matrix m = AcquireUninit(rows, cols);
+  std::fill(m.data.begin(), m.data.end(), 0.0f);
+  return m;
+}
+
+Matrix ScratchArena::AcquireCopy(const Matrix& src) {
+  Matrix m = AcquireUninit(src.rows, src.cols);
+  std::copy(src.data.begin(), src.data.end(), m.data.begin());
+  return m;
+}
+
+void ScratchArena::Release(Matrix&& m) {
+  ReleaseBuffer(std::move(m.data));
+  m.rows = 0;
+  m.cols = 0;
+  m.data = {};
+}
+
+std::size_t ScratchArena::PooledBuffers() { return State().buffers.size(); }
+
+std::size_t ScratchArena::ReuseCount() { return State().reuses; }
+
+void ScratchArena::ClearThreadPool() {
+  State().buffers.clear();
+  State().buffers.shrink_to_fit();
+}
+
+}  // namespace mcm

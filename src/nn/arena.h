@@ -1,0 +1,59 @@
+// Per-thread scratch arena for Matrix storage.
+//
+// Rollouts build and tear down a Tape per episode; every op node allocates a
+// value and a gradient matrix, so a single PPO iteration used to churn
+// thousands of short-lived heap blocks.  The arena keeps a small per-thread
+// pool of retired float buffers and hands them back out on the next
+// allocation of a compatible size, turning the steady-state cost into a
+// vector swap instead of malloc/free.
+//
+// Design constraints:
+//   * Thread-local and lock-free: rollout workers run concurrently and must
+//     never contend on the allocator they were introduced to avoid.
+//   * Buffers may migrate between threads (a Matrix acquired on one thread
+//     can be released on another); that only moves heap blocks between
+//     pools, which is safe.
+//   * Bounded: the pool never holds more than kMaxPooledBuffers buffers, so
+//     a one-off large workload cannot pin memory forever.
+//
+// Determinism: the arena only recycles storage; values written into acquired
+// buffers are always fully initialized (zeroed or assigned), so numerical
+// results are unaffected.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace mcm {
+
+class ScratchArena {
+ public:
+  // Returns a rows x cols matrix with all elements zeroed, reusing pooled
+  // storage when a buffer is available.
+  static Matrix AcquireZeroed(int rows, int cols);
+  // Returns a rows x cols matrix whose contents are unspecified; callers
+  // must assign every element before reading.
+  static Matrix AcquireUninit(int rows, int cols);
+  // Returns a pooled-storage copy of `src`.
+  static Matrix AcquireCopy(const Matrix& src);
+
+  // Retires a matrix's storage into the calling thread's pool.  The matrix
+  // is left empty.  Safe on moved-from / empty matrices (no-op).
+  static void Release(Matrix&& m);
+
+  // Raw-buffer variants for kernel-internal scratch (e.g. reduction
+  // partials).  AcquireBuffer does not zero.
+  static std::vector<float> AcquireBuffer(std::size_t size);
+  static void ReleaseBuffer(std::vector<float>&& buffer);
+
+  // ---- Introspection (per-thread; for tests and telemetry) ----
+  static std::size_t PooledBuffers();  // Buffers currently pooled.
+  static std::size_t ReuseCount();     // Acquisitions served from the pool.
+  static void ClearThreadPool();       // Frees this thread's pool.
+
+  static constexpr std::size_t kMaxPooledBuffers = 256;
+};
+
+}  // namespace mcm

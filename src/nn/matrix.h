@@ -1,8 +1,12 @@
 // Dense row-major float matrix and the handful of kernels the GNN needs.
 //
-// Shapes in this library are small (node-feature and hidden dimensions of
-// 29..128 over at most a few thousand graph nodes), so a cache-blocked
-// single-threaded GEMM is entirely adequate -- no BLAS dependency.
+// The three GEMM variants are cache-blocked, register-tiled kernels written
+// so the compiler's auto-vectorizer can keep the accumulators in vector
+// registers -- no BLAS dependency and no fast-math.  Large shapes take a
+// ParallelFor-backed path whose blocking is fixed and shape-only (never a
+// function of the thread count), so results are bit-identical run-to-run
+// and across worker-pool sizes.  The naive reference kernels are retained
+// (`*Reference`) for tests and microbenchmarks.
 #pragma once
 
 #include <cstddef>
@@ -40,7 +44,9 @@ struct Matrix {
 };
 
 // out = a * b.  Shapes: [m x k] * [k x n] -> [m x n].  `accumulate` adds
-// into `out` instead of overwriting (used by backward passes).
+// into `out` instead of overwriting (used by backward passes); when `out`
+// has the wrong shape it is reallocated and the call behaves like a plain
+// overwrite.
 void MatMul(const Matrix& a, const Matrix& b, Matrix& out,
             bool accumulate = false);
 
@@ -51,6 +57,16 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix& out,
 // out = a * b^T.  Shapes: [m x k] * [n x k]^T -> [m x n].
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix& out,
                   bool accumulate = false);
+
+// Naive scalar triple-loop references, kept as the ground truth for kernel
+// tests and as the baseline side of the GEMM microbenchmarks.  Semantics
+// match the blocked kernels up to floating-point summation order.
+void MatMulReference(const Matrix& a, const Matrix& b, Matrix& out,
+                     bool accumulate = false);
+void MatMulTransAReference(const Matrix& a, const Matrix& b, Matrix& out,
+                           bool accumulate = false);
+void MatMulTransBReference(const Matrix& a, const Matrix& b, Matrix& out,
+                           bool accumulate = false);
 
 // Gaussian init scaled by sqrt(2 / fan_in) (He) or Xavier-uniform.
 void InitHe(Matrix& m, int fan_in, Rng& rng);

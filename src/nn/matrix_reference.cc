@@ -1,0 +1,89 @@
+// Naive GEMM reference kernels and matrix initializers.
+//
+// This translation unit is deliberately compiled WITHOUT the -march=native
+// kernel flags applied to matrix.cc (see CMakeLists.txt): the references are
+// the pre-optimization kernels verbatim, and keeping them at baseline flags
+// means the BM_*Reference microbenchmarks measure what the project actually
+// shipped before the blocked kernels landed.  The initializers live here for
+// the same reason -- their scalar double math must not change codegen with
+// the kernel flags, so parameter initialization stays bit-identical whether
+// or not the host qualifies for the vector kernels.
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace mcm {
+
+void MatMulReference(const Matrix& a, const Matrix& b, Matrix& out,
+                     bool accumulate) {
+  MCM_CHECK_EQ(a.cols, b.rows);
+  if (!accumulate || out.rows != a.rows || out.cols != b.cols) {
+    out = Matrix(a.rows, b.cols);
+  }
+  // i-k-j loop order streams through b and out rows sequentially.
+  for (int i = 0; i < a.rows; ++i) {
+    float* out_row = out.data.data() + static_cast<std::size_t>(i) * out.cols;
+    for (int k = 0; k < a.cols; ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      const float* b_row =
+          b.data.data() + static_cast<std::size_t>(k) * b.cols;
+      for (int j = 0; j < b.cols; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void MatMulTransAReference(const Matrix& a, const Matrix& b, Matrix& out,
+                           bool accumulate) {
+  MCM_CHECK_EQ(a.rows, b.rows);
+  if (!accumulate || out.rows != a.cols || out.cols != b.cols) {
+    out = Matrix(a.cols, b.cols);
+  }
+  for (int k = 0; k < a.rows; ++k) {
+    const float* a_row = a.data.data() + static_cast<std::size_t>(k) * a.cols;
+    const float* b_row = b.data.data() + static_cast<std::size_t>(k) * b.cols;
+    for (int i = 0; i < a.cols; ++i) {
+      const float aki = a_row[i];
+      if (aki == 0.0f) continue;
+      float* out_row =
+          out.data.data() + static_cast<std::size_t>(i) * out.cols;
+      for (int j = 0; j < b.cols; ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+void MatMulTransBReference(const Matrix& a, const Matrix& b, Matrix& out,
+                           bool accumulate) {
+  MCM_CHECK_EQ(a.cols, b.cols);
+  if (!accumulate || out.rows != a.rows || out.cols != b.rows) {
+    out = Matrix(a.rows, b.rows);
+  }
+  for (int i = 0; i < a.rows; ++i) {
+    const float* a_row = a.data.data() + static_cast<std::size_t>(i) * a.cols;
+    float* out_row = out.data.data() + static_cast<std::size_t>(i) * out.cols;
+    for (int j = 0; j < b.rows; ++j) {
+      const float* b_row =
+          b.data.data() + static_cast<std::size_t>(j) * b.cols;
+      float acc = 0.0f;
+      for (int k = 0; k < a.cols; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] += acc;
+    }
+  }
+}
+
+void InitHe(Matrix& m, int fan_in, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (float& x : m.data) x = static_cast<float>(rng.Normal(0.0, stddev));
+}
+
+void InitXavier(Matrix& m, int fan_in, int fan_out, Rng& rng) {
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  for (float& x : m.data) {
+    x = static_cast<float>(rng.UniformDouble(-limit, limit));
+  }
+}
+
+}  // namespace mcm

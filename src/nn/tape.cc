@@ -4,9 +4,17 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/arena.h"
 
 namespace mcm {
 namespace {
+
+// Per-thread high-water mark of tape sizes, used to pre-reserve node storage
+// so recording an episode never regrows the node vector.
+std::size_t& TapeReserveHint() {
+  thread_local std::size_t hint = 0;
+  return hint;
+}
 
 void AccumulateInto(Matrix& dst, const Matrix& src) {
   MCM_CHECK(dst.SameShape(src));
@@ -15,7 +23,7 @@ void AccumulateInto(Matrix& dst, const Matrix& src) {
 
 // Row-wise stable log-softmax into `out` (same shape as logits).
 void RowLogSoftmax(const Matrix& logits, Matrix& out) {
-  out = Matrix(logits.rows, logits.cols);
+  out = ScratchArena::AcquireUninit(logits.rows, logits.cols);
   for (int i = 0; i < logits.rows; ++i) {
     const auto row = logits.row(i);
     float max_z = row[0];
@@ -30,9 +38,20 @@ void RowLogSoftmax(const Matrix& logits, Matrix& out) {
 
 }  // namespace
 
+Tape::Tape() { nodes_.reserve(TapeReserveHint()); }
+
+Tape::~Tape() {
+  std::size_t& hint = TapeReserveHint();
+  hint = std::max(hint, nodes_.size());
+  for (TapeNode& node : nodes_) {
+    ScratchArena::Release(std::move(node.value));
+    ScratchArena::Release(std::move(node.grad));
+  }
+}
+
 VarId Tape::Emplace(Matrix value) {
   TapeNode node;
-  node.grad = Matrix(value.rows, value.cols);
+  node.grad = ScratchArena::AcquireZeroed(value.rows, value.cols);
   node.value = std::move(value);
   nodes_.push_back(std::move(node));
   return static_cast<VarId>(nodes_.size() - 1);
@@ -62,7 +81,7 @@ VarId Tape::MatMulOp(VarId a, VarId b) {
 
 VarId Tape::AddOp(VarId a, VarId b) {
   MCM_CHECK(value(a).SameShape(value(b)));
-  Matrix out = value(a);
+  Matrix out = ScratchArena::AcquireCopy(value(a));
   AccumulateInto(out, value(b));
   const VarId id = Emplace(std::move(out));
   nodes_[static_cast<std::size_t>(id)].backward = [this, a, b, id] {
@@ -77,7 +96,7 @@ VarId Tape::AddRowBroadcast(VarId a, VarId bias) {
   const Matrix& bv = value(bias);
   MCM_CHECK_EQ(bv.rows, 1);
   MCM_CHECK_EQ(bv.cols, av.cols);
-  Matrix out = av;
+  Matrix out = ScratchArena::AcquireCopy(av);
   for (int i = 0; i < out.rows; ++i) {
     auto row = out.row(i);
     for (int j = 0; j < out.cols; ++j) row[j] += bv.at(0, j);
@@ -96,7 +115,7 @@ VarId Tape::AddRowBroadcast(VarId a, VarId bias) {
 }
 
 VarId Tape::ReluOp(VarId a) {
-  Matrix out = value(a);
+  Matrix out = ScratchArena::AcquireCopy(value(a));
   for (float& x : out.data) x = std::max(x, 0.0f);
   const VarId id = Emplace(std::move(out));
   nodes_[static_cast<std::size_t>(id)].backward = [this, a, id] {
@@ -111,7 +130,7 @@ VarId Tape::ReluOp(VarId a) {
 }
 
 VarId Tape::TanhOp(VarId a) {
-  Matrix out = value(a);
+  Matrix out = ScratchArena::AcquireCopy(value(a));
   for (float& x : out.data) x = std::tanh(x);
   const VarId id = Emplace(std::move(out));
   nodes_[static_cast<std::size_t>(id)].backward = [this, a, id] {
@@ -130,7 +149,7 @@ VarId Tape::ConcatCols(VarId a, VarId b) {
   const Matrix& bv = value(b);
   MCM_CHECK_EQ(av.rows, bv.rows);
   const int a_cols = av.cols;  // Read before Emplace invalidates references.
-  Matrix out(av.rows, av.cols + bv.cols);
+  Matrix out = ScratchArena::AcquireUninit(av.rows, av.cols + bv.cols);
   for (int i = 0; i < av.rows; ++i) {
     auto row = out.row(i);
     const auto arow = av.row(i);
@@ -157,7 +176,7 @@ VarId Tape::ConcatCols(VarId a, VarId b) {
 VarId Tape::NeighborMeanOp(VarId a, const NeighborLists* lists) {
   const Matrix& av = value(a);
   MCM_CHECK_EQ(lists->num_rows(), av.rows);
-  Matrix out(av.rows, av.cols);
+  Matrix out = ScratchArena::AcquireZeroed(av.rows, av.cols);
   for (int i = 0; i < av.rows; ++i) {
     const int begin = lists->offsets[static_cast<std::size_t>(i)];
     const int end = lists->offsets[static_cast<std::size_t>(i) + 1];
@@ -192,7 +211,7 @@ VarId Tape::NeighborMeanOp(VarId a, const NeighborLists* lists) {
 VarId Tape::MeanRowsOp(VarId a) {
   const Matrix& av = value(a);
   MCM_CHECK_GT(av.rows, 0);
-  Matrix out(1, av.cols);
+  Matrix out = ScratchArena::AcquireZeroed(1, av.cols);
   for (int i = 0; i < av.rows; ++i) {
     const auto row = av.row(i);
     for (int j = 0; j < av.cols; ++j) out.at(0, j) += row[j];
@@ -213,7 +232,7 @@ VarId Tape::MeanRowsOp(VarId a) {
 
 VarId Tape::L2NormalizeRowsOp(VarId a, float epsilon) {
   const Matrix& av = value(a);
-  Matrix out(av.rows, av.cols);
+  Matrix out = ScratchArena::AcquireUninit(av.rows, av.cols);
   std::vector<float> inv_norms(static_cast<std::size_t>(av.rows));
   for (int i = 0; i < av.rows; ++i) {
     const auto row = av.row(i);
@@ -268,6 +287,7 @@ VarId Tape::PpoLossOp(VarId logits, std::span<const int> actions,
     for (float l : lp) h -= std::exp(static_cast<double>(l)) * l;
     entropy_sum += h;
   }
+  ScratchArena::Release(std::move(logp));
   Matrix out(1, 1);
   out.at(0, 0) = static_cast<float>(-(objective_sum / n) -
                                     entropy_coef * (entropy_sum / n));
@@ -311,6 +331,7 @@ VarId Tape::PpoLossOp(VarId logits, std::span<const int> actions,
             dst[j] += scale * static_cast<float>(g);
           }
         }
+        ScratchArena::Release(std::move(logp));
       };
   return id;
 }
@@ -334,7 +355,7 @@ VarId Tape::AddScaled(VarId a, double wa, VarId b, double wb) {
   const Matrix& av = value(a);
   const Matrix& bv = value(b);
   MCM_CHECK(av.SameShape(bv));
-  Matrix out(av.rows, av.cols);
+  Matrix out = ScratchArena::AcquireUninit(av.rows, av.cols);
   for (std::size_t i = 0; i < out.data.size(); ++i) {
     out.data[i] = static_cast<float>(wa) * av.data[i] +
                   static_cast<float>(wb) * bv.data[i];
@@ -373,6 +394,7 @@ std::vector<float> Tape::RowLogProbs(const Matrix& logits,
   for (int i = 0; i < logits.rows; ++i) {
     out[static_cast<std::size_t>(i)] = logp.at(i, actions[i]);
   }
+  ScratchArena::Release(std::move(logp));
   return out;
 }
 

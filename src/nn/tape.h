@@ -29,7 +29,12 @@ using VarId = int;
 
 class Tape {
  public:
-  Tape() = default;
+  // Construction pre-reserves node storage at this thread's high-water node
+  // count, and destruction retires every node's value/gradient storage into
+  // the per-thread ScratchArena -- the per-episode tape build/tear-down in
+  // rollouts stops churning the allocator after the first episode.
+  Tape();
+  ~Tape();
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 

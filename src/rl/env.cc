@@ -40,9 +40,26 @@ BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
   return result;
 }
 
+PartitionEnv::PartitionEnv(const Graph& graph, CostModel& model,
+                           double baseline_runtime_s, Objective objective,
+                           int eval_cache_capacity)
+    : graph_(&graph),
+      model_(&model),
+      baseline_runtime_s_(baseline_runtime_s),
+      objective_(objective) {
+  const int capacity = eval_cache_capacity < 0 ? DefaultEvalCacheCapacity()
+                                               : eval_cache_capacity;
+  if (capacity > 0) {
+    eval_cache_ =
+        std::make_shared<EvalCache>(static_cast<std::size_t>(capacity));
+  }
+}
+
 double PartitionEnv::Score(const Partition& partition,
                            EvalResult* eval) const {
-  *eval = model_->Evaluate(*graph_, partition);
+  *eval = eval_cache_ != nullptr
+              ? eval_cache_->Evaluate(*graph_, *model_, partition)
+              : model_->Evaluate(*graph_, partition);
   const double cost = objective_ == Objective::kLatency ? eval->latency_s
                                                         : eval->runtime_s;
   if (!eval->valid || cost <= 0.0) return 0.0;

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.h"
 #include "costmodel/cost_model.h"
+#include "costmodel/eval_cache.h"
 #include "graph/graph.h"
 #include "partition/partition.h"
 #include "rl/policy.h"
@@ -43,14 +45,16 @@ class PartitionEnv {
 
   // `baseline_runtime_s` anchors the improvement metric (baseline latency
   // when the latency objective is selected); use ComputeHeuristicBaseline
-  // to obtain it.
+  // to obtain it.  `eval_cache_capacity` sizes the partition-evaluation
+  // memo cache in front of the cost model (entries; 0 disables, negative
+  // uses DefaultEvalCacheCapacity(), i.e. --eval-cache /
+  // MCMPART_EVAL_CACHE).  Copies of an env share one cache -- the cache is
+  // pure memoization of a stateless Evaluate, so sharing never changes
+  // results, only wall time.
   PartitionEnv(const Graph& graph, CostModel& model,
                double baseline_runtime_s,
-               Objective objective = Objective::kThroughput)
-      : graph_(&graph),
-        model_(&model),
-        baseline_runtime_s_(baseline_runtime_s),
-        objective_(objective) {}
+               Objective objective = Objective::kThroughput,
+               int eval_cache_capacity = -1);
 
   Objective objective() const { return objective_; }
 
@@ -80,6 +84,9 @@ class PartitionEnv {
 
   std::int64_t num_evaluations() const { return num_evaluations_; }
 
+  // The memo cache, if enabled (for tests/telemetry).
+  const EvalCache* eval_cache() const { return eval_cache_.get(); }
+
   // The best-scoring valid partition seen by this environment, if any.
   // Search strategies all score through Reward(), so after a run this holds
   // the incumbent the trace's best value refers to.
@@ -90,6 +97,7 @@ class PartitionEnv {
  private:
   const Graph* graph_;
   CostModel* model_;
+  std::shared_ptr<EvalCache> eval_cache_;  // Null when disabled.
   double baseline_runtime_s_;
   Objective objective_;
   EvalResult last_eval_;

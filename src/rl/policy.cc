@@ -1,10 +1,14 @@
 #include "rl/policy.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "graph/features.h"
+#include "telemetry/metrics.h"
 
 namespace mcm {
 namespace {
@@ -33,8 +37,16 @@ std::vector<int> MlpDims(int in_dim, int hidden_dim, int out_dim,
 
 }  // namespace
 
+namespace {
+std::uint64_t NextGraphContextUid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 GraphContext::GraphContext(const Graph& graph, int num_chips)
     : graph_(&graph),
+      uid_(NextGraphContextUid()),
       neighbors_(BuildNeighborLists(graph)),
       solver_(graph, num_chips) {
   const std::vector<float> raw = ExtractNodeFeatures(graph);
@@ -54,7 +66,68 @@ PolicyNetwork::PolicyNetwork(const RlConfig& config)
                    init_rng_),
       value_head_("value",
                   MlpDims(config.hidden_dim, config.hidden_dim, 1, 2),
-                  init_rng_) {}
+                  init_rng_) {
+  embed_cache_enabled_ = GetEnvInt("MCMPART_EMBED_CACHE", 1) != 0;
+}
+
+void PolicyNetwork::set_embedding_cache_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(embed_mu_);
+  embed_cache_enabled_ = enabled;
+  embed_context_uid_ = 0;
+  embed_value_ = Matrix();
+}
+
+void PolicyNetwork::InvalidateEmbeddingCache() {
+  std::lock_guard<std::mutex> lock(embed_mu_);
+  embed_context_uid_ = 0;
+  embed_value_ = Matrix();
+}
+
+// Fingerprint of every feature-network parameter: shapes plus raw float bit
+// patterns.  Any mutation path -- optimizer steps, checkpoint restores,
+// direct writes through Params() -- changes the fingerprint, so cache
+// staleness cannot outlive one parameter edit.  Cost is one pass over the
+// feature-net weights, orders of magnitude cheaper than the GraphSAGE
+// forward it guards.
+std::uint64_t PolicyNetwork::FeatureParamsFingerprint() {
+  std::uint64_t hash = 0x9e3779b97f4a7c15ull;
+  for (const Param* param : feature_net_.Params()) {
+    hash = HashCombine(hash, static_cast<std::uint64_t>(param->value.rows));
+    hash = HashCombine(hash, static_cast<std::uint64_t>(param->value.cols));
+    for (const float x : param->value.data) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &x, sizeof(bits));
+      hash = HashCombine(hash, bits);
+    }
+  }
+  return hash;
+}
+
+Matrix PolicyNetwork::CachedEmbedding(GraphContext& context) {
+  static telemetry::Counter& hits =
+      telemetry::Counter::Get("rl/embed_cache_hits");
+  static telemetry::Counter& misses =
+      telemetry::Counter::Get("rl/embed_cache_misses");
+  const std::uint64_t fingerprint = FeatureParamsFingerprint();
+  std::lock_guard<std::mutex> lock(embed_mu_);
+  if (embed_context_uid_ == context.uid() &&
+      embed_fingerprint_ == fingerprint && embed_value_.rows > 0) {
+    hits.Add();
+    return embed_value_;
+  }
+  misses.Add();
+  Tape tape;
+  embed_value_ = tape.value(EmbedGraph(tape, context));
+  embed_context_uid_ = context.uid();
+  embed_fingerprint_ = fingerprint;
+  return embed_value_;
+}
+
+VarId PolicyNetwork::EmbedGraphForInference(Tape& tape,
+                                            GraphContext& context) {
+  if (!embed_cache_enabled_) return EmbedGraph(tape, context);
+  return tape.Constant(CachedEmbedding(context));
+}
 
 ParamRefs PolicyNetwork::Params() {
   ParamRefs refs = feature_net_.Params();
@@ -78,7 +151,7 @@ VarId PolicyNetwork::HeadLogits(Tape& tape, VarId embeddings,
 
 Rollout PolicyNetwork::SampleRollout(GraphContext& context, Rng& rng) {
   Tape tape;
-  const VarId h = EmbedGraph(tape, context);
+  const VarId h = EmbedGraphForInference(tape, context);
   const int n = context.num_nodes();
   const int c = config_.num_chips;
 
@@ -127,7 +200,7 @@ Rollout PolicyNetwork::SampleRollout(GraphContext& context, Rng& rng) {
 
 Rollout PolicyNetwork::GreedyRollout(GraphContext& context) {
   Tape tape;
-  const VarId h = EmbedGraph(tape, context);
+  const VarId h = EmbedGraphForInference(tape, context);
   const int n = context.num_nodes();
   const int c = config_.num_chips;
 
@@ -200,7 +273,7 @@ VarId PolicyNetwork::BuildMinibatchLoss(
 
 double PolicyNetwork::PredictValue(GraphContext& context) {
   Tape tape;
-  const VarId h = EmbedGraph(tape, context);
+  const VarId h = EmbedGraphForInference(tape, context);
   return static_cast<double>(
       tape.value(value_head_.Forward(tape, tape.MeanRowsOp(h))).at(0, 0));
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -80,9 +81,13 @@ class GraphContext {
   const NeighborLists& neighbors() const { return neighbors_; }
   CpSolver& solver() { return solver_; }
   int num_nodes() const { return features_.rows; }
+  // Process-unique id; embedding caches key on it instead of the object
+  // address, which could be reused by a later context.
+  std::uint64_t uid() const { return uid_; }
 
  private:
   const Graph* graph_;
+  std::uint64_t uid_;
   Matrix features_;
   NeighborLists neighbors_;
   CpSolver solver_;
@@ -135,9 +140,34 @@ class PolicyNetwork {
   // Value prediction for a graph under current parameters (no grad).
   double PredictValue(GraphContext& context);
 
+  // ---- Static-embedding reuse ----
+  //
+  // The GraphSAGE embedding depends only on the graph's (immutable) node
+  // features and the feature-network parameters, while the decode loop is
+  // re-run per rollout and per iteration.  Inference paths (SampleRollout /
+  // GreedyRollout / PredictValue) therefore reuse one cached embedding per
+  // (context, feature-net parameter fingerprint) pair; any parameter
+  // mutation -- Adam steps, checkpoint restores, manual edits -- changes the
+  // fingerprint and forces a recompute, so the cache can never go stale.
+  // Training passes (BuildMinibatchLoss) always re-record the feature
+  // network on the gradient tape and never consult the cache.  Because the
+  // kernels are deterministic, a cache hit is bit-identical to a fresh
+  // forward pass.  Default on; MCMPART_EMBED_CACHE=0 disables.
+  bool embedding_cache_enabled() const { return embed_cache_enabled_; }
+  void set_embedding_cache_enabled(bool enabled);
+  // Drops the cached embedding (next inference recomputes).  Parameter
+  // changes are detected automatically; this is for callers that mutate
+  // node features in place behind a live GraphContext.
+  void InvalidateEmbeddingCache();
+
  private:
   // Records the feature network on the tape, returning per-node embeddings.
   VarId EmbedGraph(Tape& tape, GraphContext& context);
+  // Embedding for no-grad paths: returns the cached embedding as a tape
+  // constant when valid, recomputing (and caching) otherwise.
+  VarId EmbedGraphForInference(Tape& tape, GraphContext& context);
+  Matrix CachedEmbedding(GraphContext& context);
+  std::uint64_t FeatureParamsFingerprint();
   // Records one decode-iteration head: embeddings + one-hot(prev actions)
   // -> logits [N x C].  `prev` may be null for iteration 0.
   VarId HeadLogits(Tape& tape, VarId embeddings,
@@ -148,6 +178,14 @@ class PolicyNetwork {
   GraphSageNetwork feature_net_;
   Mlp policy_head_;
   Mlp value_head_;
+
+  // Single-slot embedding cache.  Guarded by embed_mu_: rollout workers call
+  // SampleRollout concurrently on a shared policy.
+  bool embed_cache_enabled_ = true;
+  std::mutex embed_mu_;
+  std::uint64_t embed_context_uid_ = 0;  // 0 = empty (uids start at 1).
+  std::uint64_t embed_fingerprint_ = 0;
+  Matrix embed_value_;
 };
 
 }  // namespace mcm

@@ -253,12 +253,17 @@ void ResetMetricsForTest() { Registry::Instance().Reset(); }
 
 void RegisterStandardMetrics() {
   static constexpr const char* kCounters[] = {
+      "costmodel/eval_cache_evictions",
+      "costmodel/eval_cache_hits",
+      "costmodel/eval_cache_misses",
       "hwsim/link_bound_evals",
       "hwsim/oom_rejections",
       "hwsim/simulations",
       "hwsim/static_invalid",
       "pipeline/checkpoints",
       "pipeline/validate_cells",
+      "rl/embed_cache_hits",
+      "rl/embed_cache_misses",
       "rl/episodes",
       "rl/invalid_episodes",
       "rl/policy_updates",

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "costmodel/cost_model.h"
+#include "costmodel/eval_cache.h"
 #include "graph/generators.h"
 #include "hwsim/hardware_sim.h"
 #include "partition/heuristics.h"
@@ -228,6 +229,77 @@ TEST(HwSimTest, MemoryPressureSlowsTheChip) {
   const double t_light = sim.Evaluate(light, Assign({0}, 2)).runtime_s;
   const double t_heavy = sim.Evaluate(heavy, Assign({0}, 2)).runtime_s;
   EXPECT_GT(t_heavy, t_light);
+}
+
+// ---- Partition-evaluation memo cache ----------------------------------------
+
+// Counts Evaluate calls so tests can distinguish hits from misses; returns a
+// runtime derived from the assignment so wrong cache results are detectable.
+class CountingModel final : public CostModel {
+ public:
+  EvalResult Evaluate(const Graph&, const Partition& partition) override {
+    ++calls;
+    double t = 1.0;
+    for (int chip : partition.assignment) t += 0.01 * (chip + 1);
+    return EvalResult::Valid(t);
+  }
+  std::string name() const override { return "counting"; }
+
+  int calls = 0;
+};
+
+TEST(EvalCacheTest, HitsServeWithoutReevaluating) {
+  Graph g("g");
+  g.AddNode(OpType::kMatMul, "a", 1e6, 10.0);
+  CountingModel model;
+  EvalCache cache(8);
+  const Partition p1 = Assign({0, 1}, 4);
+  const Partition p2 = Assign({1, 0}, 4);
+
+  const EvalResult first = cache.Evaluate(g, model, p1);
+  EXPECT_EQ(model.calls, 1);
+  EXPECT_EQ(cache.misses(), 1);
+
+  const EvalResult again = cache.Evaluate(g, model, p1);
+  EXPECT_EQ(model.calls, 1);  // Served from cache.
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(again.runtime_s, first.runtime_s);  // Bit-identical hit.
+  EXPECT_EQ(again.valid, first.valid);
+
+  cache.Evaluate(g, model, p2);  // Different assignment: a real miss.
+  EXPECT_EQ(model.calls, 2);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(EvalCacheTest, EvictsLeastRecentlyUsedFirst) {
+  Graph g("g");
+  g.AddNode(OpType::kMatMul, "a", 1e6, 10.0);
+  CountingModel model;
+  EvalCache cache(2);
+  const Partition a = Assign({0}, 4);
+  const Partition b = Assign({1}, 4);
+  const Partition c = Assign({2}, 4);
+
+  cache.Evaluate(g, model, a);
+  cache.Evaluate(g, model, b);
+  cache.Evaluate(g, model, a);  // Touch `a`: `b` becomes least recent.
+  cache.Evaluate(g, model, c);  // Evicts `b`.
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.Evaluate(g, model, a);  // Still cached.
+  EXPECT_EQ(model.calls, 3);
+  cache.Evaluate(g, model, b);  // Evicted: must re-evaluate.
+  EXPECT_EQ(model.calls, 4);
+}
+
+TEST(EvalCacheTest, DefaultCapacityOverride) {
+  SetDefaultEvalCacheCapacity(17);
+  EXPECT_EQ(DefaultEvalCacheCapacity(), 17);
+  SetDefaultEvalCacheCapacity(0);  // 0 = caching disabled.
+  EXPECT_EQ(DefaultEvalCacheCapacity(), 0);
+  SetDefaultEvalCacheCapacity(-1);  // Clears the override (env/base default).
+  EXPECT_GE(DefaultEvalCacheCapacity(), 0);
 }
 
 // ---- Calibration-style property (mini Figure 7) -----------------------------

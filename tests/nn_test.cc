@@ -8,9 +8,11 @@
 
 #include "common/rng.h"
 #include "graph/generators.h"
+#include "nn/arena.h"
 #include "nn/matrix.h"
 #include "nn/modules.h"
 #include "nn/tape.h"
+#include "runtime/thread_pool.h"
 
 namespace mcm {
 namespace {
@@ -83,6 +85,117 @@ TEST(MatrixTest, AccumulateAddsIntoExisting) {
   for (std::size_t i = 0; i < out.data.size(); ++i) {
     EXPECT_NEAR(twice.data[i], 2.0f * out.data[i], 1e-4);
   }
+}
+
+// ---- Blocked kernels vs naive references -----------------------------------
+
+// The blocked kernels may reassociate (and, on AVX hosts, contract) float
+// sums, so they are compared to the references with a relative tolerance.
+void ExpectMatrixNear(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows, want.rows);
+  ASSERT_EQ(got.cols, want.cols);
+  for (std::size_t i = 0; i < want.data.size(); ++i) {
+    const double scale =
+        std::max({std::abs(static_cast<double>(want.data[i])), 1.0});
+    EXPECT_NEAR(got.data[i], want.data[i], 1e-4 * scale) << "element " << i;
+  }
+}
+
+using GemmKernel = void (*)(const Matrix&, const Matrix&, Matrix&, bool);
+
+// Runs blocked vs reference over every (m, k, n) combination of `dims`,
+// covering degenerate single-row/column shapes and every micro-tile edge
+// remainder, for both accumulate modes.
+void CheckKernelAgainstReference(GemmKernel kernel, GemmKernel reference,
+                                 bool a_is_transposed, bool b_is_transposed) {
+  const int dims[] = {1, 2, 3, 5, 7, 8, 13, 31, 33, 65};
+  Rng rng(77);
+  for (int m : dims) {
+    for (int k : dims) {
+      for (int n : dims) {
+        SCOPED_TRACE("shape m=" + std::to_string(m) + " k=" +
+                     std::to_string(k) + " n=" + std::to_string(n));
+        const Matrix a = a_is_transposed ? RandomMatrix(k, m, rng)
+                                         : RandomMatrix(m, k, rng);
+        const Matrix b = b_is_transposed ? RandomMatrix(n, k, rng)
+                                         : RandomMatrix(k, n, rng);
+        Matrix got, want;
+        kernel(a, b, got, /*accumulate=*/false);
+        reference(a, b, want, /*accumulate=*/false);
+        ExpectMatrixNear(got, want);
+        // Accumulate into identical pre-filled outputs.
+        Matrix seed = RandomMatrix(m, n, rng);
+        Matrix got_acc = seed, want_acc = seed;
+        kernel(a, b, got_acc, /*accumulate=*/true);
+        reference(a, b, want_acc, /*accumulate=*/true);
+        ExpectMatrixNear(got_acc, want_acc);
+        if (::testing::Test::HasFailure()) return;  // One shape is enough.
+      }
+    }
+  }
+}
+
+TEST(MatrixKernelTest, MatMulMatchesReferenceAcrossShapes) {
+  CheckKernelAgainstReference(MatMul, MatMulReference, false, false);
+}
+
+TEST(MatrixKernelTest, MatMulTransAMatchesReferenceAcrossShapes) {
+  CheckKernelAgainstReference(MatMulTransA, MatMulTransAReference, true,
+                              false);
+}
+
+TEST(MatrixKernelTest, MatMulTransBMatchesReferenceAcrossShapes) {
+  CheckKernelAgainstReference(MatMulTransB, MatMulTransBReference, false,
+                              true);
+}
+
+// The parallel split is a pure function of shape, so results must be
+// bit-identical for any worker-pool size.  Shapes are chosen to cross the
+// parallel cutover (2*m*n*k >= 2^22 flops).
+TEST(MatrixKernelTest, ResultsAreBitIdenticalAcrossThreadCounts) {
+  const int saved_threads = DefaultThreadCount();
+  Rng rng(31);
+  // MatMul / MatMulTransB: 512 rows crosses the row-panel split.
+  const Matrix a = RandomMatrix(512, 96, rng);
+  const Matrix b = RandomMatrix(96, 80, rng);
+  const Matrix bt = RandomMatrix(80, 96, rng);
+  // MatMulTransA: 600 reduction rows crosses the k-slab split.
+  const Matrix ta = RandomMatrix(600, 64, rng);
+  const Matrix tb = RandomMatrix(600, 64, rng);
+  std::vector<Matrix> mm, mta, mtb;
+  for (int threads : {1, 2, 8}) {
+    SetDefaultThreadCount(threads);
+    Matrix out;
+    MatMul(a, b, out);
+    mm.push_back(out);
+    MatMulTransA(ta, tb, out);
+    mta.push_back(out);
+    MatMulTransB(a, bt, out);
+    mtb.push_back(out);
+  }
+  SetDefaultThreadCount(saved_threads);
+  for (std::size_t i = 1; i < mm.size(); ++i) {
+    EXPECT_EQ(mm[0].data, mm[i].data);
+    EXPECT_EQ(mta[0].data, mta[i].data);
+    EXPECT_EQ(mtb[0].data, mtb[i].data);
+  }
+}
+
+TEST(ArenaTest, TapeRetiresAndReusesBuffers) {
+  ScratchArena::ClearThreadPool();
+  Rng rng(3);
+  const Matrix x = RandomMatrix(16, 16, rng);
+  auto build = [&] {
+    Tape tape;
+    const VarId v = tape.Constant(x);
+    tape.value(tape.TanhOp(tape.ReluOp(v)));
+  };
+  build();  // The destructor retires node storage into this thread's pool.
+  EXPECT_GT(ScratchArena::PooledBuffers(), 0u);
+  const std::size_t reuses_before = ScratchArena::ReuseCount();
+  build();  // The second episode must be served from the pool.
+  EXPECT_GT(ScratchArena::ReuseCount(), reuses_before);
+  ScratchArena::ClearThreadPool();
 }
 
 // ---- Finite-difference gradient checking ----------------------------------

@@ -9,6 +9,7 @@
 #include "rl/env.h"
 #include "rl/policy.h"
 #include "rl/ppo.h"
+#include "telemetry/metrics.h"
 
 namespace mcm {
 namespace {
@@ -169,6 +170,83 @@ TEST(EnvTest, NoSolverModeScoresRawCandidate) {
   if (ValidateStatic(g, rollout.candidate) != Violation::kNone) {
     EXPECT_EQ(rollout.reward, 0.0);
   }
+}
+
+TEST(PolicyTest, EmbeddingCacheIsInvisibleAndInvalidatesOnParamChange) {
+  const Graph g = MakeMlp("m", 64, {64, 64}, 10);
+  GraphContext context(g, 36);
+  PolicyNetwork cached(TinyConfig()), fresh(TinyConfig());
+  cached.set_embedding_cache_enabled(true);
+  fresh.set_embedding_cache_enabled(false);
+
+  auto& hits = telemetry::Counter::Get("rl/embed_cache_hits");
+  auto& misses = telemetry::Counter::Get("rl/embed_cache_misses");
+  const std::int64_t hits0 = hits.Value();
+  const std::int64_t misses0 = misses.Value();
+
+  // First use fills the cache (a miss); repeats are hits and bit-identical
+  // to the uncached policy.
+  EXPECT_EQ(cached.PredictValue(context), fresh.PredictValue(context));
+  EXPECT_EQ(misses.Value(), misses0 + 1);
+  EXPECT_EQ(cached.PredictValue(context), fresh.PredictValue(context));
+  EXPECT_EQ(cached.GreedyRollout(context).candidate,
+            fresh.GreedyRollout(context).candidate);
+  EXPECT_GE(hits.Value(), hits0 + 2);
+
+  // Mutating parameters changes the fingerprint: the stale embedding must
+  // not be reused (this is the RestoreParams / optimizer-step path).
+  auto perturb = [](PolicyNetwork& p) {
+    for (Param* param : p.Params()) {
+      for (float& v : param->value.data) v += 0.25f;
+    }
+  };
+  perturb(cached);
+  perturb(fresh);
+  const std::int64_t misses_before = misses.Value();
+  EXPECT_EQ(cached.PredictValue(context), fresh.PredictValue(context));
+  EXPECT_EQ(misses.Value(), misses_before + 1);
+
+  // Explicit invalidation also forces a recompute.
+  cached.InvalidateEmbeddingCache();
+  EXPECT_EQ(cached.PredictValue(context), fresh.PredictValue(context));
+  EXPECT_EQ(misses.Value(), misses_before + 2);
+}
+
+TEST(PpoTest, CachingDoesNotChangeTrainingResults) {
+  // Embedding reuse and the eval memo cache must be invisible to training:
+  // same rewards and bit-identical parameters after several PPO iterations.
+  const std::vector<Graph> corpus = MakeCorpus();
+  const Graph& g = corpus[12];
+  AnalyticalCostModel model{McmConfig{}};
+  GraphContext c1(g, 36), c2(g, 36);
+  Rng rng(21);
+  const BaselineResult baseline =
+      ComputeHeuristicBaseline(g, model, c1.solver(), rng);
+  PartitionEnv cached_env(g, model, baseline.eval.runtime_s,
+                          PartitionEnv::Objective::kThroughput,
+                          /*eval_cache_capacity=*/1024);
+  PartitionEnv plain_env(g, model, baseline.eval.runtime_s,
+                         PartitionEnv::Objective::kThroughput,
+                         /*eval_cache_capacity=*/0);
+  PolicyNetwork p1(TinyConfig()), p2(TinyConfig());
+  p1.set_embedding_cache_enabled(true);
+  p2.set_embedding_cache_enabled(false);
+  PpoTrainer t1(p1, Rng(22)), t2(p2, Rng(22));
+  for (int it = 0; it < 3; ++it) {
+    const auto r1 = t1.Iterate(c1, cached_env);
+    const auto r2 = t2.Iterate(c2, plain_env);
+    EXPECT_EQ(r1.rewards, r2.rewards);
+  }
+  const std::vector<Matrix> s1 = SnapshotParams(p1.Params());
+  const std::vector<Matrix> s2 = SnapshotParams(p2.Params());
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].data, s2[i].data);
+  }
+  ASSERT_NE(cached_env.eval_cache(), nullptr);
+  EXPECT_GT(cached_env.eval_cache()->hits() +
+                cached_env.eval_cache()->misses(),
+            0);
 }
 
 TEST(PpoTest, IterationProducesRequestedSamples) {

@@ -101,6 +101,36 @@ TEST(RlSearchTest, ZeroShotDoesNotTrain) {
   }
 }
 
+TEST(SearchDeterminismTest, EvalCacheDoesNotChangeResults) {
+  // The memo cache is pure memoization: every trace reward and the best
+  // partition must be bit-identical with the cache on or off.
+  std::vector<Graph> corpus = MakeCorpus();
+  const Graph& graph = corpus[30];
+  AnalyticalCostModel model{McmConfig{}};
+  GraphContext c1(graph, 36), c2(graph, 36);
+  Rng rng(1);
+  const double baseline =
+      ComputeHeuristicBaseline(graph, model, c1.solver(), rng).eval.runtime_s;
+  PartitionEnv cached(graph, model, baseline,
+                      PartitionEnv::Objective::kThroughput,
+                      /*eval_cache_capacity=*/1024);
+  PartitionEnv uncached(graph, model, baseline,
+                        PartitionEnv::Objective::kThroughput,
+                        /*eval_cache_capacity=*/0);
+  ASSERT_NE(cached.eval_cache(), nullptr);
+  EXPECT_EQ(uncached.eval_cache(), nullptr);
+  SimulatedAnnealing s1{Rng(9)}, s2{Rng(9)};
+  const SearchTrace t1 = s1.Run(c1, cached, 60);
+  const SearchTrace t2 = s2.Run(c2, uncached, 60);
+  EXPECT_EQ(t1.rewards, t2.rewards);
+  ASSERT_TRUE(cached.has_best());
+  ASSERT_TRUE(uncached.has_best());
+  EXPECT_EQ(cached.best_partition().assignment,
+            uncached.best_partition().assignment);
+  // The cache actually saw the search's evaluations.
+  EXPECT_GT(cached.eval_cache()->hits() + cached.eval_cache()->misses(), 0);
+}
+
 TEST(NoSolverRlTest, FindsNoValidPartition) {
   // Table 1 / Section 5.1: without the constraint solver the reward space
   // is so sparse that RL never sees a valid sample.

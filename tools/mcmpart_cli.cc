@@ -16,6 +16,9 @@
 //     --threads N      worker threads (default: MCMPART_THREADS env,
 //                      else hardware concurrency); results are identical
 //                      for any N
+//     --eval-cache N   partition-evaluation memo-cache entries (default:
+//                      MCMPART_EVAL_CACHE env, else 1024; 0 disables);
+//                      results are identical with the cache on or off
 //     --out FILE       write "node chip" lines of the best partition
 //     --trace-out FILE    write Chrome trace-event JSON (spans)
 //     --metrics-out FILE  write a metrics/run-report JSON
@@ -51,7 +54,7 @@ int Usage() {
                "       mcmpart partition <in.graph> [--chips N] [--budget B]"
                " [--method random|sa|rl] [--model analytical|hwsim]"
                " [--objective throughput|latency] [--seed S] [--threads N]"
-               " [--out FILE]\n");
+               " [--eval-cache N] [--out FILE]\n");
   return 2;
 }
 
@@ -117,6 +120,7 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
     else if (arg == "--objective") objective_name = next();
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
+    else if (arg == "--eval-cache") SetDefaultEvalCacheCapacity(std::stoi(next()));
     else if (arg == "--out") out_path = next();
     else if (arg == "--trace-out") trace_path = next();
     else if (arg == "--metrics-out") metrics_path = next();
