@@ -2,7 +2,6 @@
 // DESIGN.md): triangle domain pruning and the connected-used-chips
 // strengthening.  Measures solver effort (SetDomain calls, success rate)
 // for uniform SAMPLE solves across graph scales.
-#include <chrono>
 #include <cstdio>
 
 #include "common/env.h"
@@ -10,6 +9,7 @@
 #include "graph/generators.h"
 #include "solver/cp_solver.h"
 #include "solver/modes.h"
+#include "telemetry/trace.h"
 #include "bench_common.h"
 
 namespace {
@@ -28,17 +28,14 @@ void RunCase(const Graph& graph, const Setting& setting, int solves,
   Rng rng(7);
   int successes = 0;
   std::int64_t calls = 0;
-  const auto start = std::chrono::steady_clock::now();
+  const double start_s = telemetry::MonotonicSeconds();
   for (int k = 0; k < solves; ++k) {
     const SolveResult result =
         SolveSampleWithRestarts(solver, graph, uniform, rng);
     calls += result.set_domain_calls;
     if (result.success) ++successes;
   }
-  const double ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count() /
-                    solves;
+  const double ms = (telemetry::MonotonicSeconds() - start_s) * 1e3 / solves;
   std::printf("  %-28s success %2d/%2d, %8.0f set_domain calls/solve, "
               "%8.2f ms/solve\n",
               setting.label, successes, solves,

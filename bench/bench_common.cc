@@ -1,7 +1,6 @@
 #include "bench_common.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -82,7 +81,7 @@ std::vector<std::vector<double>> RunMethodsOnGraph(
 
 Checkpoint Pretrain(const BenchScaleConfig& config, std::uint64_t seed,
                     double* elapsed_seconds) {
-  const auto start = std::chrono::steady_clock::now();
+  const double start_s = telemetry::MonotonicSeconds();
   DatasetSplit split = SplitCorpus(MakeCorpus());
   split.train.resize(static_cast<std::size_t>(
       std::min<int>(config.pretrain_graphs,
@@ -91,7 +90,7 @@ Checkpoint Pretrain(const BenchScaleConfig& config, std::uint64_t seed,
       std::min<int>(config.validation_graphs,
                     static_cast<int>(split.validation.size()))));
 
-  static AnalyticalCostModel analytical{McmConfig{}};
+  AnalyticalCostModel analytical{McmConfig{}};
   PretrainConfig pretrain;
   pretrain.rl = config.rl;
   pretrain.total_samples = config.pretrain_samples;
@@ -105,9 +104,7 @@ Checkpoint Pretrain(const BenchScaleConfig& config, std::uint64_t seed,
   std::vector<Checkpoint> checkpoints = pipeline.Train(split.train);
   const int best = pipeline.Validate(checkpoints, split.validation);
   if (elapsed_seconds != nullptr) {
-    *elapsed_seconds = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+    *elapsed_seconds = telemetry::MonotonicSeconds() - start_s;
   }
   std::printf("# pre-training: %d graphs, %d samples, %zu checkpoints, "
               "picked checkpoint %d (finetune score %.3f)\n",
@@ -196,7 +193,7 @@ ComparisonResult RunCorpusComparison(const BenchScaleConfig& config,
       std::min<int>(config.test_graphs,
                     static_cast<int>(split.test.size()))));
 
-  static AnalyticalCostModel analytical{McmConfig{}};
+  AnalyticalCostModel analytical{McmConfig{}};
   // Per-method, per-graph best-so-far curves.
   std::vector<std::vector<std::vector<double>>> per_method(kNumMethods);
   for (std::size_t gi = 0; gi < split.test.size(); ++gi) {
@@ -238,7 +235,7 @@ ComparisonResult RunBertComparison(const BenchScaleConfig& config,
 
   const Graph bert = MakeBert();
   GraphContext context(bert, config.rl.num_chips);
-  static HardwareSim hardware;
+  HardwareSim hardware;
   Rng rng(HashCombine(seed, 41));
   // The production-compiler baseline: greedy packing by weight footprint,
   // repaired to static validity.

@@ -1,5 +1,7 @@
 #include "costmodel/eval_cache.h"
 
+#include <atomic>
+
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -10,21 +12,24 @@ namespace {
 
 constexpr int kDefaultCapacity = 1024;
 
-int& CapacityOverride() {
-  static int override_capacity = -1;
+std::atomic<int>& CapacityOverride() {
+  static std::atomic<int> override_capacity{-1};
   return override_capacity;
 }
 
 }  // namespace
 
 int DefaultEvalCacheCapacity() {
-  if (CapacityOverride() >= 0) return CapacityOverride();
+  const int override_capacity =
+      CapacityOverride().load(std::memory_order_relaxed);
+  if (override_capacity >= 0) return override_capacity;
   const std::int64_t from_env = GetEnvInt("MCMPART_EVAL_CACHE", kDefaultCapacity);
   return from_env < 0 ? 0 : static_cast<int>(from_env);
 }
 
 void SetDefaultEvalCacheCapacity(int capacity) {
-  CapacityOverride() = capacity < 0 ? -1 : capacity;
+  CapacityOverride().store(capacity < 0 ? -1 : capacity,
+                           std::memory_order_relaxed);
 }
 
 std::size_t EvalCache::KeyHash::operator()(

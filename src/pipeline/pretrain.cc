@@ -5,8 +5,6 @@
 #include <memory>
 #include <stdexcept>
 
-#include <chrono>
-
 #include "common/logging.h"
 #include "common/stats.h"
 #include "runtime/thread_pool.h"
@@ -82,7 +80,7 @@ std::vector<Checkpoint> PretrainPipeline::Train(
   int samples_seen = 0;
   int next_checkpoint_at = samples_per_checkpoint;
   std::size_t task_index = 0;
-  auto checkpoint_start = std::chrono::steady_clock::now();
+  double checkpoint_start = telemetry::MonotonicSeconds();
   while (samples_seen < config_.total_samples) {
     GraphTask& task = tasks[task_index];
     task_index = (task_index + 1) % tasks.size();
@@ -97,10 +95,9 @@ std::vector<Checkpoint> PretrainPipeline::Train(
       checkpoint.params = SnapshotParams(policy_.Params());
       checkpoints.push_back(std::move(checkpoint));
       next_checkpoint_at += samples_per_checkpoint;
-      const auto now = std::chrono::steady_clock::now();
+      const double now = telemetry::MonotonicSeconds();
       checkpoint_count.Add();
-      checkpoint_seconds.Observe(
-          std::chrono::duration<double>(now - checkpoint_start).count());
+      checkpoint_seconds.Observe(now - checkpoint_start);
       checkpoint_start = now;
     }
   }

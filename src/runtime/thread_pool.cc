@@ -1,10 +1,10 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/env.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace mcm {
 namespace {
@@ -55,11 +55,9 @@ void ThreadPool::Submit(std::function<void()> fn) {
   // task), so a clock read here stays off the per-iteration hot path.
   static telemetry::Histogram& queue_wait = telemetry::Histogram::Get(
       "runtime/queue_wait_us", kQueueWaitMicrosBounds);
-  const auto enqueued = std::chrono::steady_clock::now();
-  auto job = [fn = std::move(fn), enqueued] {
-    queue_wait.Observe(std::chrono::duration<double, std::micro>(
-                           std::chrono::steady_clock::now() - enqueued)
-                           .count());
+  const double enqueued_s = telemetry::MonotonicSeconds();
+  auto job = [fn = std::move(fn), enqueued_s] {
+    queue_wait.Observe((telemetry::MonotonicSeconds() - enqueued_s) * 1e6);
     fn();
     TasksExecuted().Add();
   };
@@ -167,8 +165,8 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
 namespace {
 
 std::mutex g_default_mu;
-int g_default_threads = 0;  // 0 = not yet resolved.
-std::unique_ptr<ThreadPool> g_default_pool;
+int g_default_threads = 0;  // 0 = not yet resolved.  mcmlint: guarded-by(g_default_mu)
+std::unique_ptr<ThreadPool> g_default_pool;  // mcmlint: guarded-by(g_default_mu)
 
 int ResolveThreadCount() {
   const std::int64_t from_env = GetEnvInt("MCMPART_THREADS", 0);

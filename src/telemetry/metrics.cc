@@ -41,7 +41,7 @@ thread_local std::vector<HistogramCell*> tls_histogram_cells;
 class Registry {
  public:
   static Registry& Instance() {
-    static Registry* registry = new Registry;
+    static Registry* const registry = new Registry;
     return *registry;
   }
 

@@ -41,7 +41,7 @@ struct BufferList {
 };
 
 BufferList& Buffers() {
-  static BufferList* list = new BufferList;
+  static BufferList* const list = new BufferList;
   return *list;
 }
 
@@ -64,7 +64,7 @@ std::chrono::steady_clock::time_point TraceOrigin() {
 }
 
 std::string& TracePathStorage() {
-  static std::string* path = new std::string;
+  static std::string* const path = new std::string;
   return *path;
 }
 
@@ -120,6 +120,12 @@ void RecordSpan(std::string_view name, std::int64_t start_us,
 }
 
 }  // namespace internal
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       TraceOrigin())
+      .count();
+}
 
 void EnableTracing(bool enabled) {
   if (enabled) TraceOrigin();  // Pin the clock origin before the first span.

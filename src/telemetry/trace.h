@@ -73,6 +73,14 @@ class TraceSpan {
   ::mcm::telemetry::TraceSpan MCM_TRACE_SPAN_CONCAT(            \
       mcm_trace_span_, __LINE__)(name)
 
+// Seconds since a process-wide steady-clock origin (the same origin trace
+// timestamps use).  This is the one sanctioned monotonic-clock read outside
+// src/telemetry/ — mcmlint's mcm-nondeterminism rule bans raw
+// steady_clock::now() elsewhere so that wall-time can never feed back into
+// results.  Telemetry-only: durations derived from it may be Observe()d or
+// logged, never branched on.
+double MonotonicSeconds();
+
 // Turns span recording on or off.  Spans already in flight when tracing
 // flips off are dropped at destruction time without being recorded.
 void EnableTracing(bool enabled = true);

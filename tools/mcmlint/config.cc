@@ -1,0 +1,109 @@
+#include "config.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mcmlint {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  std::size_t last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> out;
+  std::istringstream stream(value);
+  std::string item;
+  while (stream >> item) out.push_back(item);
+  return out;
+}
+
+const RuleConfig& Config::Rule(const std::string& name) const {
+  static const RuleConfig kDefault;
+  const auto it = rules.find(name);
+  return it == rules.end() ? kDefault : it->second;
+}
+
+bool Config::InScope(const std::string& rule,
+                     const std::string& rel_path) const {
+  const RuleConfig& rc = Rule(rule);
+  if (!rc.enabled) return false;
+  if (!rc.only.empty()) {
+    bool inside = false;
+    for (const std::string& prefix : rc.only) {
+      if (StartsWith(rel_path, prefix)) inside = true;
+    }
+    if (!inside) return false;
+  }
+  for (const std::string& prefix : rc.allow) {
+    if (StartsWith(rel_path, prefix)) return false;
+  }
+  return true;
+}
+
+bool LoadConfig(const std::string& path, Config* config) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "mcmlint: cannot open config %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "mcmlint: %s:%d: expected 'key = value'\n",
+                   path.c_str(), line_no);
+      return false;
+    }
+    const std::string key = Trim(trimmed.substr(0, eq));
+    const std::string value = Trim(trimmed.substr(eq + 1));
+    if (key == "scan.dirs") {
+      config->scan_dirs = SplitList(value);
+    } else if (key == "scan.extensions") {
+      config->extensions = SplitList(value);
+    } else if (key == "scan.exclude") {
+      config->excludes = SplitList(value);
+    } else if (StartsWith(key, "rule.")) {
+      // rule.<name>.<setting>
+      const std::size_t dot = key.find('.', 5);
+      if (dot == std::string::npos) {
+        std::fprintf(stderr, "mcmlint: %s:%d: bad rule key '%s'\n",
+                     path.c_str(), line_no, key.c_str());
+        return false;
+      }
+      RuleConfig& rc = config->rules[key.substr(5, dot - 5)];
+      const std::string setting = key.substr(dot + 1);
+      if (setting == "enabled") {
+        rc.enabled = value != "false" && value != "0";
+      } else if (setting == "allow") {
+        rc.allow = SplitList(value);
+      } else if (setting == "only") {
+        rc.only = SplitList(value);
+      } else {
+        rc.extra[setting] = value;
+      }
+    } else {
+      std::fprintf(stderr, "mcmlint: %s:%d: unknown key '%s'\n", path.c_str(),
+                   line_no, key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcmlint

@@ -1,0 +1,43 @@
+// mcmlint's configuration: which trees to scan and how each rule is scoped.
+//
+// The config is a flat "key = value" file (see mcmlint.conf) so later PRs can
+// retune file sets, extend the banned list, or gate new rules without
+// touching the linter's code.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcmlint {
+
+struct RuleConfig {
+  bool enabled = true;
+  // Paths (relative to the scan root, prefix-matched) where the rule is
+  // switched off.  Directories should end with '/'.
+  std::vector<std::string> allow;
+  // When non-empty, the rule only runs under these prefixes.
+  std::vector<std::string> only;
+  // Rule-specific settings, e.g. "readme", "list", "functions".
+  std::map<std::string, std::string> extra;
+};
+
+struct Config {
+  std::vector<std::string> scan_dirs = {"src", "tools", "bench"};
+  std::vector<std::string> extensions = {".cc", ".h"};
+  std::vector<std::string> excludes;  // prefix-matched relative paths
+  std::map<std::string, RuleConfig> rules;
+
+  const RuleConfig& Rule(const std::string& name) const;
+  // True when `rule` should run on the file at `rel_path`.
+  bool InScope(const std::string& rule, const std::string& rel_path) const;
+};
+
+// Parses the config file.  Returns false (with a message on stderr) when the
+// file cannot be read or contains a malformed line.
+bool LoadConfig(const std::string& path, Config* config);
+
+// Splits a whitespace-separated list value.
+std::vector<std::string> SplitList(const std::string& value);
+
+}  // namespace mcmlint

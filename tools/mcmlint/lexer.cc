@@ -1,0 +1,305 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace mcmlint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses one comment chunk for NOLINT and "mcmlint:" markers and merges them
+// into `markers`.
+void ParseMarkers(const std::string& text, LineMarkers& markers) {
+  // NOLINT / NOLINT(rule, rule)
+  for (std::size_t pos = text.find("NOLINT"); pos != std::string::npos;
+       pos = text.find("NOLINT", pos + 1)) {
+    std::size_t after = pos + 6;
+    while (after < text.size() && text[after] == ' ') ++after;
+    if (after < text.size() && text[after] == '(') {
+      const std::size_t close = text.find(')', after);
+      if (close == std::string::npos) continue;
+      std::string rule;
+      for (std::size_t i = after + 1; i <= close; ++i) {
+        const char c = text[i];
+        if (IsIdentChar(c) || c == '-') {
+          rule.push_back(c);
+        } else {
+          if (!rule.empty()) markers.nolint_rules.insert(rule);
+          rule.clear();
+        }
+      }
+    } else {
+      markers.nolint_all = true;
+    }
+  }
+  // mcmlint: order-insensitive  /  mcmlint: guarded-by(<mutex>)
+  for (std::size_t pos = text.find("mcmlint:"); pos != std::string::npos;
+       pos = text.find("mcmlint:", pos + 8)) {
+    std::size_t after = pos + 8;
+    while (after < text.size() && text[after] == ' ') ++after;
+    if (text.compare(after, 17, "order-insensitive") == 0) {
+      markers.order_insensitive = true;
+    } else if (text.compare(after, 11, "guarded-by(") == 0) {
+      const std::size_t close = text.find(')', after + 11);
+      if (close != std::string::npos && close > after + 11) {
+        markers.guarded_by = true;
+      }
+    }
+  }
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, const std::string& content)
+      : content_(content) {
+    out_.path = std::move(path);
+  }
+
+  SourceFile Run() {
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (at_line_start_ && c == '#') {
+        HandlePreprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        continue;
+      }
+      if (c == '"') {
+        StringLiteral(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        CharLiteral();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        Number();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        Identifier();
+        continue;
+      }
+      Punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < content_.size() ? content_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokenKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  // #include lines are skipped wholesale (<ctime> etc. must not look like
+  // code); other directives are tokenized so macro bodies are still checked.
+  void HandlePreprocessor() {
+    std::size_t probe = pos_ + 1;
+    while (probe < content_.size() && content_[probe] == ' ') ++probe;
+    if (content_.compare(probe, 7, "include") == 0) {
+      while (pos_ < content_.size() && content_[pos_] != '\n') ++pos_;
+      return;
+    }
+    at_line_start_ = false;
+    ++pos_;  // consume '#'; the directive body tokenizes normally
+  }
+
+  void LineComment() {
+    const std::size_t start = pos_;
+    while (pos_ < content_.size() && content_[pos_] != '\n') ++pos_;
+    ParseMarkers(content_.substr(start, pos_ - start), out_.markers[line_]);
+  }
+
+  void BlockComment() {
+    const int start_line = line_;
+    const std::size_t start = pos_;
+    pos_ += 2;
+    while (pos_ + 1 < content_.size() &&
+           !(content_[pos_] == '*' && content_[pos_ + 1] == '/')) {
+      if (content_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    pos_ = pos_ + 2 <= content_.size() ? pos_ + 2 : content_.size();
+    ParseMarkers(content_.substr(start, pos_ - start),
+                 out_.markers[start_line]);
+  }
+
+  void StringLiteral(bool raw) {
+    const int start_line = line_;
+    std::string text;
+    if (raw) {
+      // R"delim( ... )delim"
+      ++pos_;  // opening quote
+      std::string delim;
+      while (pos_ < content_.size() && content_[pos_] != '(') {
+        delim.push_back(content_[pos_++]);
+      }
+      ++pos_;  // '('
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = content_.find(closer, pos_);
+      const std::size_t stop = end == std::string::npos ? content_.size() : end;
+      for (std::size_t i = pos_; i < stop; ++i) {
+        if (content_[i] == '\n') ++line_;
+      }
+      text = content_.substr(pos_, stop - pos_);
+      pos_ = end == std::string::npos ? content_.size()
+                                      : end + closer.size();
+    } else {
+      ++pos_;  // opening quote
+      while (pos_ < content_.size() && content_[pos_] != '"') {
+        if (content_[pos_] == '\\' && pos_ + 1 < content_.size()) {
+          text.push_back(content_[pos_ + 1]);
+          pos_ += 2;
+          continue;
+        }
+        if (content_[pos_] == '\n') ++line_;  // unterminated; stay sane
+        text.push_back(content_[pos_++]);
+      }
+      if (pos_ < content_.size()) ++pos_;  // closing quote
+    }
+    Emit(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void CharLiteral() {
+    const int start_line = line_;
+    std::string text;
+    ++pos_;
+    while (pos_ < content_.size() && content_[pos_] != '\'') {
+      if (content_[pos_] == '\\' && pos_ + 1 < content_.size()) {
+        text.push_back(content_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      text.push_back(content_[pos_++]);
+    }
+    if (pos_ < content_.size()) ++pos_;
+    Emit(TokenKind::kChar, std::move(text), start_line);
+  }
+
+  void Number() {
+    const std::size_t start = pos_;
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '\'' || c == '_') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e-3, 0x1p+4
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = content_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, content_.substr(start, pos_ - start), line_);
+  }
+
+  void Identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < content_.size() && IsIdentChar(content_[pos_])) ++pos_;
+    std::string text = content_.substr(start, pos_ - start);
+    // String-literal prefixes: R"...", u8R"...", L"...", etc.
+    if (pos_ < content_.size() && content_[pos_] == '"') {
+      const bool raw = !text.empty() && text.back() == 'R' &&
+                       (text == "R" || text == "uR" || text == "UR" ||
+                        text == "LR" || text == "u8R");
+      const bool plain_prefix =
+          text == "u" || text == "U" || text == "L" || text == "u8";
+      if (raw || plain_prefix) {
+        StringLiteral(raw);
+        return;
+      }
+    }
+    Emit(TokenKind::kIdentifier, std::move(text), line_);
+  }
+
+  void Punct() {
+    const char c = content_[pos_];
+    if (c == ':' && Peek(1) == ':') {
+      Emit(TokenKind::kPunct, "::", line_);
+      pos_ += 2;
+      return;
+    }
+    if (c == '-' && Peek(1) == '>') {
+      Emit(TokenKind::kPunct, "->", line_);
+      pos_ += 2;
+      return;
+    }
+    Emit(TokenKind::kPunct, std::string(1, c), line_);
+    ++pos_;
+  }
+
+  const std::string& content_;
+  SourceFile out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+const LineMarkers* SourceFile::MarkersFor(int line) const {
+  const auto it = markers.find(line);
+  return it == markers.end() ? nullptr : &it->second;
+}
+
+bool SourceFile::Suppressed(int line, const std::string& rule) const {
+  const LineMarkers* m = MarkersFor(line);
+  if (m == nullptr) return false;
+  return m->nolint_all || m->nolint_rules.count(rule) > 0;
+}
+
+bool SourceFile::OrderInsensitiveIn(int first, int last) const {
+  for (int line = first; line <= last; ++line) {
+    const LineMarkers* m = MarkersFor(line);
+    if (m != nullptr && m->order_insensitive) return true;
+  }
+  return false;
+}
+
+bool SourceFile::GuardedByIn(int first, int last) const {
+  for (int line = first; line <= last; ++line) {
+    const LineMarkers* m = MarkersFor(line);
+    if (m != nullptr && m->guarded_by) return true;
+  }
+  return false;
+}
+
+SourceFile Tokenize(std::string path, const std::string& content) {
+  return Lexer(std::move(path), content).Run();
+}
+
+}  // namespace mcmlint

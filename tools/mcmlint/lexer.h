@@ -1,0 +1,58 @@
+// mcmlint's lexer: a comment- and string-aware C++ token scanner.
+//
+// This is deliberately not a parser.  Every rule mcmlint enforces is
+// expressible over a token stream plus per-line comment markers, which keeps
+// the linter dependency-free (no libclang) and fast enough to run on every
+// ctest invocation.  The trade-offs this implies are documented per rule in
+// rules.h.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mcmlint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,
+  kString,      // string literal (contents not scanned by rules)
+  kChar,        // character literal
+  kPunct,       // one punctuator per token; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // for kString: the literal's contents, unescaped-ish
+  int line = 0;      // 1-based
+};
+
+// Comment-derived markers attached to a source line.
+struct LineMarkers {
+  bool nolint_all = false;             // bare "// NOLINT"
+  std::set<std::string> nolint_rules;  // "// NOLINT(mcm-a, mcm-b)"
+  bool order_insensitive = false;      // "// mcmlint: order-insensitive"
+  bool guarded_by = false;             // "// mcmlint: guarded-by(<mutex>)"
+};
+
+struct SourceFile {
+  std::string path;  // as reported in diagnostics
+  std::vector<Token> tokens;
+  std::map<int, LineMarkers> markers;  // only lines that carry markers
+
+  // True when a diagnostic for `rule` on `line` is NOLINT-suppressed.
+  bool Suppressed(int line, const std::string& rule) const;
+  // Marker lookup; returns nullptr when the line carries none.
+  const LineMarkers* MarkersFor(int line) const;
+  // True when any line in [first, last] carries the given annotation.
+  bool OrderInsensitiveIn(int first, int last) const;
+  bool GuardedByIn(int first, int last) const;
+};
+
+// Tokenizes `content`.  Handles //, /*...*/, string/char literals (including
+// raw strings), and skips #include lines so header names never look like
+// code.  Comment text is parsed for NOLINT and "mcmlint:" markers.
+SourceFile Tokenize(std::string path, const std::string& content);
+
+}  // namespace mcmlint

@@ -1,0 +1,454 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mcmlint {
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+// True when tokens[i] is a plain use or qualified exactly by "std::" — i.e.
+// not a member access and not SomeClass::name.
+bool PlainOrStdQualified(const std::vector<Token>& t, std::size_t i) {
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  if (prev.kind != TokenKind::kPunct) return true;
+  if (prev.text == "." || prev.text == "->") return false;
+  if (prev.text == "::") {
+    return i >= 2 && IsIdent(t[i - 2], "std");
+  }
+  return true;
+}
+
+bool StdQualified(const std::vector<Token>& t, std::size_t i) {
+  return i >= 2 && IsPunct(t[i - 1], "::") && IsIdent(t[i - 2], "std");
+}
+
+bool NotMember(const std::vector<Token>& t, std::size_t i) {
+  if (i == 0) return true;
+  return !IsPunct(t[i - 1], ".") && !IsPunct(t[i - 1], "->");
+}
+
+// Type qualifiers that make a static/global safe for mcm-mutable-static.
+bool IsSafeQualifier(const std::string& text) {
+  if (text == "const" || text == "constexpr" || text == "constinit" ||
+      text == "thread_local") {
+    return true;
+  }
+  if (text.compare(0, 6, "atomic") == 0) return true;  // atomic, atomic_int...
+  if (text == "mutex" || text == "shared_mutex" || text == "recursive_mutex" ||
+      text == "timed_mutex" || text == "recursive_timed_mutex" ||
+      text == "condition_variable" || text == "condition_variable_any" ||
+      text == "once_flag") {
+    return true;
+  }
+  return false;
+}
+
+// Keywords whose presence means a backward scan did not cover a declaration.
+bool IsStatementKeyword(const std::string& text) {
+  for (const char* kw :
+       {"return",   "if",      "while",    "for",      "switch",  "case",
+        "throw",    "new",     "delete",   "else",     "do",      "goto",
+        "sizeof",   "typedef", "using",    "template", "typename", "operator",
+        "co_await", "co_return", "co_yield", "struct",  "class",   "enum",
+        "break",    "continue", "default",  "public",  "private", "protected"}) {
+    if (text == kw) return true;
+  }
+  return false;
+}
+
+void Emit(const SourceFile& file, int line, const char* rule,
+          std::string message, std::vector<Diagnostic>* diags) {
+  diags->push_back(Diagnostic{file.path, line, rule, std::move(message)});
+}
+
+}  // namespace
+
+void CheckNondeterminism(const SourceFile& file,
+                         std::vector<Diagnostic>* diags) {
+  static constexpr const char* kRule = "mcm-nondeterminism";
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& text = t[i].text;
+    const bool has_call = i + 1 < t.size() && IsPunct(t[i + 1], "(");
+    if ((text == "rand" || text == "srand") && has_call &&
+        PlainOrStdQualified(t, i)) {
+      Emit(file, t[i].line, kRule,
+           text + "() draws from global, unseeded state; use mcm::Rng "
+                  "substreams derived from the run seed",
+           diags);
+      continue;
+    }
+    if (text == "random_device" && PlainOrStdQualified(t, i)) {
+      Emit(file, t[i].line, kRule,
+           "std::random_device is nondeterministic; seed mcm::Rng from the "
+           "run config instead",
+           diags);
+      continue;
+    }
+    if (text == "time" && has_call && PlainOrStdQualified(t, i)) {
+      // Argless forms only: time(), time(0), time(NULL), time(nullptr).
+      const std::size_t a = i + 2;
+      const bool argless =
+          a < t.size() &&
+          (IsPunct(t[a], ")") ||
+           (a + 1 < t.size() && IsPunct(t[a + 1], ")") &&
+            (t[a].text == "0" || IsIdent(t[a], "NULL") ||
+             IsIdent(t[a], "nullptr"))));
+      if (argless) {
+        Emit(file, t[i].line, kRule,
+             "time() reads the wall clock; results must not depend on when "
+             "the run started",
+             diags);
+      }
+      continue;
+    }
+    if ((text == "steady_clock" || text == "system_clock" ||
+         text == "high_resolution_clock") &&
+        i + 2 < t.size() && IsPunct(t[i + 1], "::") && IsIdent(t[i + 2], "now")) {
+      Emit(file, t[i].line, kRule,
+           "clock reads outside src/telemetry/ can leak timing into "
+           "results; use telemetry::MonotonicSeconds() for telemetry-only "
+           "timing",
+           diags);
+    }
+  }
+}
+
+void CheckRawThread(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  static constexpr const char* kRule = "mcm-raw-thread";
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& text = t[i].text;
+    if ((text == "thread" || text == "jthread" || text == "async") &&
+        StdQualified(t, i)) {
+      Emit(file, t[i].line, kRule,
+           "std::" + text +
+               " bypasses the runtime/ worker pool and its "
+               "ordered-commit determinism contract; use ParallelFor or "
+               "TaskGroup",
+           diags);
+    }
+  }
+}
+
+void CheckBanned(const SourceFile& file,
+                 const std::vector<std::string>& banned,
+                 std::vector<Diagnostic>* diags) {
+  static constexpr const char* kRule = "mcm-banned";
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if (i + 1 >= t.size() || !IsPunct(t[i + 1], "(")) continue;
+    if (!PlainOrStdQualified(t, i)) continue;
+    if (std::find(banned.begin(), banned.end(), t[i].text) == banned.end()) {
+      continue;
+    }
+    Emit(file, t[i].line, kRule,
+         t[i].text + "() is on the banned-function list "
+                     "(tools/mcmlint/banned.txt)",
+         diags);
+  }
+}
+
+void CheckMutableStatic(const SourceFile& file,
+                        std::vector<Diagnostic>* diags) {
+  static constexpr const char* kRule = "mcm-mutable-static";
+  const std::vector<Token>& t = file.tokens;
+
+  // Declarations introduced by the `static` keyword.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t[i], "static")) continue;
+    int depth = 0;
+    bool qualified = false;
+    bool is_function = false;
+    bool terminated = false;
+    int last_line = t[i].line;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      const Token& tok = t[j];
+      last_line = tok.line;
+      if (tok.kind == TokenKind::kPunct) {
+        if (tok.text == "<") {
+          ++depth;
+        } else if (tok.text == ">") {
+          if (depth > 0) --depth;
+        } else if (depth == 0) {
+          if (tok.text == "=" || tok.text == ";" || tok.text == "{") {
+            terminated = true;
+            break;
+          }
+          if (tok.text == "(") {  // function declaration or definition
+            is_function = true;
+            break;
+          }
+          if (tok.text == "&") qualified = true;  // reference binding
+        }
+      } else if (tok.kind == TokenKind::kIdentifier && depth == 0 &&
+                 IsSafeQualifier(tok.text)) {
+        qualified = true;
+      }
+    }
+    if (is_function || !terminated || qualified) continue;
+    if (file.GuardedByIn(t[i].line, last_line)) continue;
+    Emit(file, t[i].line, kRule,
+         "mutable static: make it const/constexpr/std::atomic, or annotate "
+         "'// mcmlint: guarded-by(<mutex>)' if a lock protects every access",
+         diags);
+  }
+
+  // Namespace-scope globals following the g_* convention.  (A token scanner
+  // cannot see anonymous-namespace scope, so the naming convention stands in
+  // for it; see the rule catalog in docs/ARCHITECTURE.md.)
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier ||
+        t[i].text.compare(0, 2, "g_") != 0 || i == 0) {
+      continue;
+    }
+    const Token& prev = t[i - 1];
+    const bool typeish =
+        (prev.kind == TokenKind::kIdentifier &&
+         !IsStatementKeyword(prev.text)) ||
+        IsPunct(prev, ">") || IsPunct(prev, "*") || IsPunct(prev, "&");
+    if (!typeish) continue;
+    // Walk back to the start of the statement; everything between must look
+    // like a type for this to be a declaration.
+    bool is_decl = true;
+    bool qualified = false;
+    bool has_static = false;
+    for (std::size_t k = i; k-- > 0;) {
+      const Token& tok = t[k];
+      if (tok.kind == TokenKind::kPunct) {
+        if (tok.text == ";" || tok.text == "{" || tok.text == "}") break;
+        if (tok.text != "::" && tok.text != "<" && tok.text != ">" &&
+            tok.text != "*" && tok.text != "&" && tok.text != ",") {
+          is_decl = false;
+          break;
+        }
+      } else if (tok.kind == TokenKind::kIdentifier) {
+        if (IsStatementKeyword(tok.text)) {
+          is_decl = false;
+          break;
+        }
+        if (tok.text == "static") has_static = true;  // handled above
+        if (IsSafeQualifier(tok.text)) qualified = true;
+      } else {
+        is_decl = false;
+        break;
+      }
+    }
+    if (!is_decl || has_static || qualified) continue;
+    if (file.GuardedByIn(t[i].line, t[i].line)) continue;
+    Emit(file, t[i].line, kRule,
+         "mutable global '" + t[i].text +
+             "': make it const/std::atomic, or annotate '// mcmlint: "
+             "guarded-by(<mutex>)' if a lock protects every access",
+         diags);
+  }
+}
+
+void CheckUnorderedIteration(const SourceFile& file,
+                             std::vector<Diagnostic>* diags) {
+  static constexpr const char* kRule = "mcm-unordered-iteration";
+  const std::vector<Token>& t = file.tokens;
+
+  std::set<std::string> unordered_types = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  std::set<std::string> tracked;
+
+  // Pass 1: file-local aliases, then variables/members/params of unordered
+  // container type.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (IsIdent(t[i], "using") && i + 2 < t.size() &&
+        t[i + 1].kind == TokenKind::kIdentifier && IsPunct(t[i + 2], "=")) {
+      for (std::size_t j = i + 3; j < t.size() && !IsPunct(t[j], ";"); ++j) {
+        if (t[j].kind == TokenKind::kIdentifier &&
+            unordered_types.count(t[j].text) > 0) {
+          unordered_types.insert(t[i + 1].text);
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier ||
+        unordered_types.count(t[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < t.size() && IsPunct(t[j], "<")) {  // skip template arguments
+      int depth = 1;
+      for (++j; j < t.size() && depth > 0; ++j) {
+        if (IsPunct(t[j], "<")) ++depth;
+        if (IsPunct(t[j], ">")) --depth;
+      }
+    }
+    while (j < t.size() &&
+           (IsPunct(t[j], "*") || IsPunct(t[j], "&") ||
+            IsIdent(t[j], "const"))) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokenKind::kIdentifier &&
+        !IsStatementKeyword(t[j].text)) {
+      tracked.insert(t[j].text);
+    }
+  }
+  if (tracked.empty()) return;
+
+  // Pass 2: for-loop headers that iterate a tracked container.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t[i], "for") || i + 1 >= t.size() ||
+        !IsPunct(t[i + 1], "(")) {
+      continue;
+    }
+    int depth = 1;
+    std::size_t colon = 0;  // first lone ':' → range-for
+    std::size_t end = i + 2;
+    for (; end < t.size() && depth > 0; ++end) {
+      if (IsPunct(t[end], "(")) ++depth;
+      if (IsPunct(t[end], ")")) --depth;
+      if (depth > 0 && colon == 0 && IsPunct(t[end], ":")) colon = end;
+    }
+    const int first_line = t[i].line;
+    const int last_line = end > 0 ? t[end - 1].line : first_line;
+    bool violates = false;
+    if (colon != 0) {
+      for (std::size_t j = colon + 1; j < end; ++j) {
+        if (t[j].kind == TokenKind::kIdentifier &&
+            tracked.count(t[j].text) > 0 && NotMember(t, j)) {
+          violates = true;
+        }
+      }
+    } else {
+      for (std::size_t j = i + 2; j + 2 < end; ++j) {
+        if (t[j].kind == TokenKind::kIdentifier &&
+            tracked.count(t[j].text) > 0 &&
+            (IsPunct(t[j + 1], ".") || IsPunct(t[j + 1], "->")) &&
+            (IsIdent(t[j + 2], "begin") || IsIdent(t[j + 2], "cbegin") ||
+             IsIdent(t[j + 2], "rbegin") || IsIdent(t[j + 2], "crbegin"))) {
+          violates = true;
+        }
+      }
+    }
+    if (!violates) continue;
+    if (file.OrderInsensitiveIn(first_line, last_line)) continue;
+    Emit(file, first_line, kRule,
+         "iteration over a std::unordered_ container follows hash order, "
+         "which the determinism contract does not cover; iterate a sorted "
+         "view, or annotate '// mcmlint: order-insensitive' if every "
+         "iteration effect commutes",
+         diags);
+  }
+}
+
+void CollectEnvReads(const SourceFile& file,
+                     const std::vector<std::string>& functions,
+                     const std::vector<std::string>& prefixes,
+                     std::vector<EnvRead>* reads) {
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if (std::find(functions.begin(), functions.end(), t[i].text) ==
+        functions.end()) {
+      continue;
+    }
+    if (!NotMember(t, i)) continue;
+    if (!IsPunct(t[i + 1], "(")) continue;
+    if (t[i + 2].kind != TokenKind::kString) continue;  // dynamic name
+    const std::string& name = t[i + 2].text;
+    for (const std::string& prefix : prefixes) {
+      if (name.compare(0, prefix.size(), prefix) == 0) {
+        reads->push_back(EnvRead{file.path, t[i].line, name});
+        break;
+      }
+    }
+  }
+}
+
+std::vector<EnvDoc> ParseReadmeEnvTable(
+    const std::string& content, const std::string& section,
+    const std::vector<std::string>& prefixes) {
+  std::vector<EnvDoc> docs;
+  bool in_section = false;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    const std::string line =
+        content.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') {
+      in_section = line.find(section) != std::string::npos;
+    } else if (in_section && first != std::string::npos &&
+               line[first] == '|') {
+      const std::size_t cell_end = line.find('|', first + 1);
+      if (cell_end != std::string::npos) {
+        const std::string cell = line.substr(first + 1, cell_end - first - 1);
+        const std::size_t tick = cell.find('`');
+        const std::size_t tick2 =
+            tick == std::string::npos ? std::string::npos
+                                      : cell.find('`', tick + 1);
+        if (tick2 != std::string::npos) {
+          const std::string name = cell.substr(tick + 1, tick2 - tick - 1);
+          bool matches = false;
+          for (const std::string& prefix : prefixes) {
+            if (name.compare(0, prefix.size(), prefix) == 0) matches = true;
+          }
+          if (matches &&
+              name.find_first_not_of(
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_") ==
+                  std::string::npos) {
+            docs.push_back(EnvDoc{line_no, name});
+          }
+        }
+      }
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return docs;
+}
+
+void DiffEnvRegistry(const std::vector<EnvRead>& reads,
+                     const std::vector<EnvDoc>& docs,
+                     const std::string& readme_path,
+                     std::vector<Diagnostic>* diags) {
+  static constexpr const char* kRule = "mcm-env-registry";
+  std::set<std::string> documented;
+  for (const EnvDoc& doc : docs) documented.insert(doc.name);
+  std::set<std::string> read_names;
+  for (const EnvRead& read : reads) read_names.insert(read.name);
+
+  std::set<std::string> reported;
+  for (const EnvRead& read : reads) {
+    if (documented.count(read.name) > 0) continue;
+    if (!reported.insert(read.name).second) continue;  // first site per name
+    diags->push_back(Diagnostic{
+        read.path, read.line, kRule,
+        "env var '" + read.name +
+            "' is read here but has no row in the README "
+            "environment-variable table"});
+  }
+  for (const EnvDoc& doc : docs) {
+    if (read_names.count(doc.name) > 0) continue;
+    diags->push_back(Diagnostic{
+        readme_path, doc.line, kRule,
+        "env var '" + doc.name +
+            "' is documented in the README but never read by any scanned "
+            "source"});
+  }
+}
+
+}  // namespace mcmlint

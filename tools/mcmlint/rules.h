@@ -1,0 +1,100 @@
+// mcmlint's rule set.  Every rule enforces a piece of the repo's
+// determinism/concurrency contract (docs/ARCHITECTURE.md, "Static analysis &
+// determinism contract"):
+//
+//   mcm-nondeterminism     no rand()/srand/random_device, no wall or
+//                          monotonic clock reads, no argless time() outside
+//                          the telemetry allowlist.  Reward and search code
+//                          must draw randomness from mcm::Rng and time from
+//                          telemetry::MonotonicSeconds().
+//   mcm-unordered-iteration  no range-for / begin() iteration over
+//                          std::unordered_{map,set} in reward/search-critical
+//                          dirs unless annotated "// mcmlint:
+//                          order-insensitive" — hash-order is not part of the
+//                          determinism contract.
+//   mcm-raw-thread         no std::thread/std::jthread/std::async outside
+//                          src/runtime/; parallelism goes through the worker
+//                          pool so the ordered-commit discipline holds.
+//   mcm-mutable-static     function/namespace statics (and g_* namespace
+//                          globals) must be const, constexpr, atomic, a
+//                          reference, thread_local, or carry "// mcmlint:
+//                          guarded-by(<mutex>)".
+//   mcm-env-registry       every GetEnv*/getenv/ScaledInt name must appear in
+//                          the README env-var table, and vice versa.
+//   mcm-banned             functions listed in banned.txt (strtok, gets,
+//                          sprintf, ...) may not be called.
+//
+// Rules run over the token stream from lexer.h; they are heuristic by
+// design.  Known limits: mcm-mutable-static only sees declarations introduced
+// by the `static` keyword or named g_*, and alias tracking in
+// mcm-unordered-iteration is file-local and one level deep.  "// NOLINT(mcm-
+// <rule>)" on the diagnostic line is the universal escape hatch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace mcmlint {
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& other) const {
+    if (path != other.path) return path < other.path;
+    if (line != other.line) return line < other.line;
+    if (rule != other.rule) return rule < other.rule;
+    return message < other.message;
+  }
+};
+
+// One env-var read site, feeding the cross-file mcm-env-registry diff.
+struct EnvRead {
+  std::string path;
+  int line = 0;
+  std::string name;
+};
+
+// One documented env var: a first-cell entry of the README's table.
+struct EnvDoc {
+  int line = 0;
+  std::string name;
+};
+
+void CheckNondeterminism(const SourceFile& file,
+                         std::vector<Diagnostic>* diags);
+void CheckUnorderedIteration(const SourceFile& file,
+                             std::vector<Diagnostic>* diags);
+void CheckRawThread(const SourceFile& file, std::vector<Diagnostic>* diags);
+void CheckMutableStatic(const SourceFile& file,
+                        std::vector<Diagnostic>* diags);
+void CheckBanned(const SourceFile& file,
+                 const std::vector<std::string>& banned,
+                 std::vector<Diagnostic>* diags);
+
+// Collects string-literal reads through the configured accessor functions
+// whose names start with one of `prefixes`.  Dynamic (non-literal) names are
+// skipped.
+void CollectEnvReads(const SourceFile& file,
+                     const std::vector<std::string>& functions,
+                     const std::vector<std::string>& prefixes,
+                     std::vector<EnvRead>* reads);
+
+// Extracts documented names from the README section `section` (first table
+// cell, backtick-quoted, matching `prefixes`).
+std::vector<EnvDoc> ParseReadmeEnvTable(const std::string& content,
+                                        const std::string& section,
+                                        const std::vector<std::string>& prefixes);
+
+// The two-way registry diff: reads without a doc row diagnose at the first
+// read site per name; doc rows never read diagnose at the README line.
+void DiffEnvRegistry(const std::vector<EnvRead>& reads,
+                     const std::vector<EnvDoc>& docs,
+                     const std::string& readme_path,
+                     std::vector<Diagnostic>* diags);
+
+}  // namespace mcmlint

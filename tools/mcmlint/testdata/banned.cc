@@ -1,0 +1,24 @@
+// mcmlint fixture: mcm-banned detection and NOLINT suppression.
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+namespace fixture {
+
+void FormatBad(char* out, int value) {
+  std::sprintf(out, "%d", value);  // expect: mcm-banned
+}
+
+char* FirstWordBad(char* text) {
+  return std::strtok(text, " ");  // expect: mcm-banned
+}
+
+void FormatSuppressed(char* out, int value) {
+  std::sprintf(out, "%d", value);  // NOLINT(mcm-banned)
+}
+
+void FormatGood(char* out, std::size_t size, int value) {
+  std::snprintf(out, size, "%d", value);  // near-miss name: fine
+}
+
+}  // namespace fixture

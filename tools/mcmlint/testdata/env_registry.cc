@@ -1,0 +1,21 @@
+// mcmlint fixture: mcm-env-registry two-way diff against README_fixture.md.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+std::string GetEnv(const std::string& name, const std::string& fallback);
+
+std::string DocumentedRead() {
+  return GetEnv("MCM_FIXTURE_DOCUMENTED", "");
+}
+
+std::string UndocumentedRead() {
+  return GetEnv("MCM_FIXTURE_UNDOCUMENTED", "");  // expect: mcm-env-registry
+}
+
+const char* RawRead() {
+  return std::getenv("MCM_FIXTURE_RAW");  // expect: mcm-env-registry
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// mcmlint fixture: mcm-mutable-static detection, the safe forms, and the
+// guarded-by annotation — at function scope and for g_* namespace globals.
+#include <atomic>
+#include <mutex>
+
+namespace fixture {
+
+int g_fixture_count = 0;  // expect: mcm-mutable-static
+std::atomic<int> g_fixture_flag{0};
+std::mutex g_fixture_mu;
+int g_fixture_guarded = 0;  // mcmlint: guarded-by(g_fixture_mu)
+
+int NextId() {
+  static int next_id = 0;  // expect: mcm-mutable-static
+  return ++next_id;
+}
+
+int CachedLimit() {
+  static const int limit = 64;
+  return limit;
+}
+
+int AtomicTicket() {
+  static std::atomic<int> ticket{0};
+  return ticket.fetch_add(1);
+}
+
+int GuardedTotal(int delta) {
+  static std::mutex mu;
+  static int total = 0;  // mcmlint: guarded-by(mu)
+  std::lock_guard<std::mutex> lock(mu);
+  total += delta;
+  return total;
+}
+
+}  // namespace fixture

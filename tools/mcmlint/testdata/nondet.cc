@@ -1,0 +1,42 @@
+// mcmlint fixture: mcm-nondeterminism true positives and NOLINT suppression.
+// Lines carrying "expect: <rule>" must produce exactly that diagnostic.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int DrawBad() {
+  return std::rand();  // expect: mcm-nondeterminism
+}
+
+void SeedBad() {
+  std::srand(42u);  // expect: mcm-nondeterminism
+}
+
+double ClockBad() {
+  auto t0 = std::chrono::steady_clock::now();  // expect: mcm-nondeterminism
+  auto t1 = std::chrono::system_clock::now();  // expect: mcm-nondeterminism
+  return std::chrono::duration<double>(t0.time_since_epoch()).count() +
+         std::chrono::duration<double>(t1.time_since_epoch()).count();
+}
+
+long WallBad() {
+  return std::time(nullptr);  // expect: mcm-nondeterminism
+}
+
+unsigned EntropyBad() {
+  std::random_device entropy;  // expect: mcm-nondeterminism
+  return entropy();
+}
+
+int DrawSuppressed() {
+  return std::rand();  // NOLINT(mcm-nondeterminism) fixture suppression
+}
+
+// Mentions of rand() or steady_clock::now() in comments or strings must not
+// be flagged.
+const char* kDescription = "call rand() and steady_clock::now() at will";
+
+}  // namespace fixture

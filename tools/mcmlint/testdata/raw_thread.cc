@@ -1,0 +1,23 @@
+// mcmlint fixture: mcm-raw-thread detection and NOLINT suppression.
+#include <future>
+#include <thread>
+
+namespace fixture {
+
+int LaunchThread() {
+  int value = 0;
+  std::thread worker([&value] { value = 1; });  // expect: mcm-raw-thread
+  worker.join();
+  return value;
+}
+
+int LaunchAsync() {
+  auto pending = std::async([] { return 7; });  // expect: mcm-raw-thread
+  return pending.get();
+}
+
+unsigned ProbeSuppressed() {
+  return std::thread::hardware_concurrency();  // NOLINT(mcm-raw-thread)
+}
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// mcmlint fixture: mcm-unordered-iteration detection, alias tracking, and
+// the order-insensitive annotation.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+using Index = std::unordered_map<int, int>;
+
+int SumRangeFor(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& entry : counts) {  // expect: mcm-unordered-iteration
+    total += entry.second;
+  }
+  return total;
+}
+
+int SumIterator(const Index& index) {
+  int total = 0;
+  // Iterator-style loops through begin() are caught too.
+  for (auto it = index.begin(); it != index.end(); ++it) {  // expect: mcm-unordered-iteration
+    total += it->second;
+  }
+  return total;
+}
+
+int SumAnnotated(const std::unordered_set<int>& values) {
+  int total = 0;
+  for (int v : values) {  // mcmlint: order-insensitive (sum commutes)
+    total += v;
+  }
+  return total;
+}
+
+int SumVector(const std::vector<int>& items) {
+  int total = 0;
+  for (int v : items) {  // ordered container: fine
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace fixture
