@@ -38,6 +38,30 @@ double GetEnvDouble(const std::string& name, double fallback) {
   return parsed;
 }
 
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback,
+                       std::int64_t lo, std::int64_t hi) {
+  const std::int64_t parsed = GetEnvInt(name, fallback);
+  if (parsed < lo || parsed > hi) {
+    const std::int64_t clamped = parsed < lo ? lo : hi;
+    MCM_LOG(kWarning) << name << "=" << parsed << " is outside [" << lo
+                      << ", " << hi << "]; clamping to " << clamped;
+    return clamped;
+  }
+  return parsed;
+}
+
+double GetEnvDouble(const std::string& name, double fallback, double lo,
+                    double hi) {
+  const double parsed = GetEnvDouble(name, fallback);
+  if (!(parsed >= lo && parsed <= hi)) {  // Also catches NaN.
+    const double clamped = parsed < lo ? lo : hi;
+    MCM_LOG(kWarning) << name << "=" << parsed << " is outside [" << lo
+                      << ", " << hi << "]; clamping to " << clamped;
+    return clamped;
+  }
+  return parsed;
+}
+
 BenchScale GetBenchScale() {
   const auto value = GetEnv("MCM_BENCH_SCALE");
   if (value && *value == "full") return BenchScale::kFull;

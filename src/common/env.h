@@ -19,6 +19,16 @@ std::optional<std::string> GetEnv(const std::string& name);
 std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback);
 double GetEnvDouble(const std::string& name, double fallback);
 
+// Range-checked overloads: parse as above, then clamp the result into
+// [lo, hi] with a warning when the parsed value falls outside.  Knobs where
+// a negative or absurd value would silently misconfigure a subsystem
+// (thread counts, cache sizes, retry/backoff/deadline budgets) must use
+// these -- a bare negative would otherwise be treated as valid.
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback,
+                       std::int64_t lo, std::int64_t hi);
+double GetEnvDouble(const std::string& name, double fallback, double lo,
+                    double hi);
+
 enum class BenchScale { kQuick, kFull };
 
 // Reads MCM_BENCH_SCALE ("quick" default, "full" for paper budgets).

@@ -8,6 +8,7 @@
 // BigCrush -- more than adequate for simulation workloads.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -106,6 +107,16 @@ class Rng {
   // A fresh generator deterministically derived from this one's stream;
   // used to give each worker/graph/episode an independent substream.
   Rng Fork() { return Rng(Next()); }
+
+  // Raw generator state, for checkpoint/resume.  Restoring a saved state
+  // resumes the stream exactly where it left off, which is what makes a
+  // resumed pretraining run bit-identical to an uninterrupted one.
+  std::array<std::uint64_t, 4> GetState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void SetState(const std::array<std::uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {

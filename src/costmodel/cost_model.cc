@@ -1,8 +1,18 @@
 #include "costmodel/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mcm {
+
+bool IsTransientEvalFailure(const EvalResult& result) {
+  if (result.failure == EvalFailure::kTimeout ||
+      result.failure == EvalFailure::kEvaluatorError) {
+    return true;
+  }
+  return result.valid && (!std::isfinite(result.runtime_s) ||
+                          !std::isfinite(result.latency_s));
+}
 
 EvalResult AnalyticalCostModel::Evaluate(const Graph& graph,
                                          const Partition& partition) {

@@ -19,11 +19,14 @@
 
 namespace mcm {
 
-// Why an evaluation failed (mirrors the paper's invalid-sample taxonomy).
+// Why an evaluation failed (mirrors the paper's invalid-sample taxonomy,
+// plus the transient platform failures a real measurement harness sees).
 enum class EvalFailure {
   kNone = 0,
   kStaticConstraint,  // Violates Eq. (2)/(3)/(4); checked by every model.
   kOutOfMemory,       // Dynamic constraint H: some chip exceeds its SRAM.
+  kTimeout,           // Evaluation exceeded its deadline; retryable.
+  kEvaluatorError,    // Platform reported a bogus measurement; retryable.
 };
 
 struct EvalResult {
@@ -54,6 +57,11 @@ struct EvalResult {
     return r;
   }
 };
+
+// Transient failures are worth retrying; deterministic rejections
+// (static/memory constraints) are not.  A "valid" result carrying a
+// non-finite cost is also transient: it models a corrupted measurement.
+bool IsTransientEvalFailure(const EvalResult& result);
 
 // Physical parameters of the MCM package (Section 3: a 36-chiplet package,
 // tens of MBs of SRAM per chiplet, tens of GB/s uni-directional links).

@@ -23,8 +23,10 @@ int DefaultEvalCacheCapacity() {
   const int override_capacity =
       CapacityOverride().load(std::memory_order_relaxed);
   if (override_capacity >= 0) return override_capacity;
-  const std::int64_t from_env = GetEnvInt("MCMPART_EVAL_CACHE", kDefaultCapacity);
-  return from_env < 0 ? 0 : static_cast<int>(from_env);
+  // Negative values are clamped to 0 (disabled) with a warning.
+  const std::int64_t from_env = GetEnvInt("MCMPART_EVAL_CACHE",
+                                          kDefaultCapacity, 0, 1 << 28);
+  return static_cast<int>(from_env);
 }
 
 void SetDefaultEvalCacheCapacity(int capacity) {

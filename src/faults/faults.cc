@@ -1,0 +1,197 @@
+#include "faults/faults.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace mcm {
+namespace {
+
+// Uniform [0, 1) from a 64-bit hash (same mapping Rng::UniformDouble uses).
+double HashToUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::FromEnv() {
+  FaultConfig config;
+  config.rate = GetEnvDouble("MCMPART_FAULT_RATE", 0.0, 0.0, 1.0);
+  config.seed = static_cast<std::uint64_t>(
+      GetEnvInt("MCMPART_FAULT_SEED",
+                static_cast<std::int64_t>(config.seed)));
+  const auto kinds = GetEnv("MCMPART_FAULT_KINDS");
+  if (kinds) {
+    config.enable_timeout = false;
+    config.enable_spurious_invalid = false;
+    config.enable_nan_cost = false;
+    std::stringstream ss(*kinds);
+    std::string kind;
+    while (std::getline(ss, kind, ',')) {
+      if (kind == "timeout") config.enable_timeout = true;
+      else if (kind == "invalid") config.enable_spurious_invalid = true;
+      else if (kind == "nan") config.enable_nan_cost = true;
+      else if (!kind.empty()) {
+        MCM_LOG(kWarning) << "MCMPART_FAULT_KINDS: unknown kind \"" << kind
+                          << "\" (expected timeout, invalid, or nan)";
+      }
+    }
+  }
+  return config;
+}
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(config) {}
+
+bool FaultInjector::Sample(std::uint64_t key, FaultKind* kind) const {
+  if (config_.rate <= 0.0 || !config_.AnyKindEnabled()) return false;
+  const std::uint64_t draw = HashCombine(config_.seed, key);
+  if (HashToUnit(draw) >= config_.rate) return false;
+  // Pick uniformly among the enabled kinds with an independent hash so the
+  // fire/no-fire decision and the kind are uncorrelated.
+  FaultKind enabled[3];
+  int n = 0;
+  if (config_.enable_timeout) enabled[n++] = FaultKind::kTimeout;
+  if (config_.enable_spurious_invalid) {
+    enabled[n++] = FaultKind::kSpuriousInvalid;
+  }
+  if (config_.enable_nan_cost) enabled[n++] = FaultKind::kNanCost;
+  const std::uint64_t pick = HashCombine(draw, 0x6b696e64ULL);
+  *kind = enabled[pick % static_cast<std::uint64_t>(n)];
+  return true;
+}
+
+bool FaultInjector::Next(std::uint64_t key, FaultKind* kind) {
+  std::uint32_t attempt = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[key]++;
+  }
+  if (!Sample(HashCombine(key, attempt), kind)) return false;
+  static telemetry::Counter& injected =
+      telemetry::Counter::Get("faults/injected");
+  static telemetry::Counter& injected_timeout =
+      telemetry::Counter::Get("faults/injected_timeout");
+  static telemetry::Counter& injected_invalid =
+      telemetry::Counter::Get("faults/injected_invalid");
+  static telemetry::Counter& injected_nan =
+      telemetry::Counter::Get("faults/injected_nan");
+  injected.Add();
+  switch (*kind) {
+    case FaultKind::kTimeout: injected_timeout.Add(); break;
+    case FaultKind::kSpuriousInvalid: injected_invalid.Add(); break;
+    case FaultKind::kNanCost: injected_nan.Add(); break;
+  }
+  return true;
+}
+
+FaultInjector* GlobalFaultInjector() {
+  // Configured once from the environment; rate 0 (the default) yields a
+  // null injector so fault-free runs pay nothing on the evaluation path.
+  static FaultInjector* const injector = []() -> FaultInjector* {
+    const FaultConfig config = FaultConfig::FromEnv();
+    if (config.rate <= 0.0 || !config.AnyKindEnabled()) return nullptr;
+    MCM_LOG(kInfo) << "fault injection enabled: rate=" << config.rate;
+    return new FaultInjector(config);
+  }();
+  return injector;
+}
+
+RetryPolicy RetryPolicy::FromEnv() {
+  RetryPolicy policy;
+  policy.max_retries =
+      static_cast<int>(GetEnvInt("MCMPART_EVAL_RETRIES", 4, 0, 100));
+  policy.initial_backoff_s =
+      GetEnvDouble("MCMPART_EVAL_BACKOFF_MS", 1.0, 0.0, 60000.0) / 1e3;
+  policy.deadline_s =
+      GetEnvDouble("MCMPART_EVAL_DEADLINE_MS", 2000.0, 0.0, 3600000.0) / 1e3;
+  return policy;
+}
+
+double RetryPolicy::BackoffSeconds(std::uint64_t key, int attempt) const {
+  if (initial_backoff_s <= 0.0 || attempt <= 0) return 0.0;
+  const double base = std::min(
+      max_backoff_s, initial_backoff_s * std::exp2(attempt - 1));
+  // Deterministic jitter in [0.5, 1.5): repeated runs back off identically,
+  // but concurrent retries of different evaluations desynchronize.
+  const double jitter =
+      0.5 + HashToUnit(HashCombine(key, static_cast<std::uint64_t>(attempt)));
+  return base * jitter;
+}
+
+std::uint64_t EvalKey(const Graph& graph, const Partition& partition) {
+  std::uint64_t h = HashCombine(0x65766b65794d434dULL,
+                                static_cast<std::uint64_t>(graph.NumNodes()));
+  for (std::size_t i = 0; i < partition.assignment.size(); ++i) {
+    h = HashCombine(
+        h, static_cast<std::uint64_t>(partition.assignment[i] + 1) *
+                   0x9e3779b97f4a7c15ULL +
+               i);
+  }
+  return h;
+}
+
+ResilientCostModel::ResilientCostModel(CostModel* primary, CostModel* fallback,
+                                       RetryPolicy policy)
+    : primary_(primary), fallback_(fallback), policy_(policy) {}
+
+EvalResult ResilientCostModel::Evaluate(const Graph& graph,
+                                        const Partition& partition) {
+  EvalResult result = primary_->Evaluate(graph, partition);
+  if (!IsTransientEvalFailure(result)) return result;
+
+  static telemetry::Counter& retries = telemetry::Counter::Get("faults/retries");
+  static telemetry::Counter& recovered =
+      telemetry::Counter::Get("faults/recovered");
+  static telemetry::Counter& exhausted =
+      telemetry::Counter::Get("faults/retry_exhausted");
+  static telemetry::Counter& degraded =
+      telemetry::Counter::Get("faults/degraded_evals");
+
+  // The clock is only consulted once something has already failed, so the
+  // fault-free path stays clock-free (see the determinism contract in
+  // docs/ARCHITECTURE.md).
+  const std::uint64_t key = EvalKey(graph, partition);
+  const bool has_deadline = policy_.deadline_s > 0.0;
+  const double start_s = has_deadline ? telemetry::MonotonicSeconds() : 0.0;
+  for (int attempt = 1; attempt <= policy_.max_retries; ++attempt) {
+    const double backoff_s = policy_.BackoffSeconds(key, attempt);
+    if (has_deadline &&
+        telemetry::MonotonicSeconds() + backoff_s - start_s >
+            policy_.deadline_s) {
+      break;  // Sleeping again would blow the per-evaluation deadline.
+    }
+    SleepSeconds(backoff_s);
+    retries.Add();
+    result = primary_->Evaluate(graph, partition);
+    if (!IsTransientEvalFailure(result)) {
+      recovered.Add();
+      return result;
+    }
+  }
+  exhausted.Add();
+  if (fallback_ != nullptr) {
+    const EvalResult fb = fallback_->Evaluate(graph, partition);
+    if (!IsTransientEvalFailure(fb)) {
+      degraded.Add();
+      return fb;
+    }
+  }
+  // No usable fallback: sanitize so a NaN cost never reaches a reward.
+  return EvalResult::Invalid(EvalFailure::kEvaluatorError);
+}
+
+}  // namespace mcm

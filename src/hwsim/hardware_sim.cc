@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "faults/faults.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -250,6 +252,28 @@ HardwareSim::Report HardwareSim::Simulate(const Graph& graph,
 
 EvalResult HardwareSim::Evaluate(const Graph& graph,
                                  const Partition& partition) {
+  // Injected faults model the measurement platform (not the simulator):
+  // they fire before simulation, deterministically per (candidate, attempt),
+  // and only when MCMPART_FAULT_RATE is set.  Retry/degradation lives in
+  // ResilientCostModel (faults/faults.h), not here.
+  if (FaultInjector* injector = GlobalFaultInjector()) {
+    FaultKind kind;
+    if (injector->Next(EvalKey(graph, partition), &kind)) {
+      switch (kind) {
+        case FaultKind::kTimeout:
+          return EvalResult::Invalid(EvalFailure::kTimeout);
+        case FaultKind::kSpuriousInvalid:
+          return EvalResult::Invalid(EvalFailure::kEvaluatorError);
+        case FaultKind::kNanCost: {
+          EvalResult corrupted = EvalResult::Valid(1.0);
+          corrupted.runtime_s = std::numeric_limits<double>::quiet_NaN();
+          corrupted.throughput = corrupted.runtime_s;
+          corrupted.latency_s = corrupted.runtime_s;
+          return corrupted;
+        }
+      }
+    }
+  }
   const Report report = Simulate(graph, partition);
   if (!report.statically_valid) {
     return EvalResult::Invalid(EvalFailure::kStaticConstraint);

@@ -173,6 +173,31 @@ void Adam::ZeroGrad() {
   for (Param* p : params_) p->grad.Zero();
 }
 
+Adam::State Adam::GetState() const {
+  State state;
+  state.step = step_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+void Adam::SetState(const State& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size()) {
+    throw std::runtime_error("Adam::SetState: moment count mismatch");
+  }
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    const Param& p = *params_[k];
+    if (state.m[k].rows != p.value.rows || state.m[k].cols != p.value.cols ||
+        state.v[k].rows != p.value.rows || state.v[k].cols != p.value.cols) {
+      throw std::runtime_error("Adam::SetState: moment shape mismatch for " +
+                               p.name);
+    }
+  }
+  step_ = state.step;
+  m_ = state.m;
+  v_ = state.v;
+}
+
 void SaveParams(const ParamRefs& params, std::ostream& os) {
   // max_digits10 guarantees exact float round-trips through text.
   os.precision(std::numeric_limits<float>::max_digits10);

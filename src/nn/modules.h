@@ -115,6 +115,19 @@ class Adam {
 
   std::int64_t steps() const { return step_; }
 
+  // Full optimizer state, for checkpoint/resume.  Restoring a saved state
+  // (with the same parameter set) continues the moment estimates and bias
+  // correction exactly where they left off, which the bit-identical resume
+  // contract requires.  SetState validates moment shapes against the
+  // current parameters and throws std::runtime_error on mismatch.
+  struct State {
+    std::int64_t step = 0;
+    std::vector<Matrix> m;
+    std::vector<Matrix> v;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   ParamRefs params_;
   Options options_;

@@ -1,0 +1,264 @@
+#include "pipeline/checkpoint.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <type_traits>
+
+#include "common/rng.h"
+#include "telemetry/metrics.h"
+
+namespace mcm {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'C', 'M', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+// FNV-1a over the payload; catches truncation and bit rot, not tampering.
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Append/consume helpers for the little-endian payload buffer.  The reader
+// throws on underrun so a truncated file can never yield a silently
+// partial state.
+template <typename T>
+void Append(std::string& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&value);
+  out.append(p, sizeof(T));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T Take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      throw std::runtime_error("pretrain state: truncated payload");
+    }
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  void TakeFloats(std::vector<float>& out, std::size_t count) {
+    const std::size_t bytes = count * sizeof(float);
+    if (pos_ + bytes > bytes_.size()) {
+      throw std::runtime_error("pretrain state: truncated payload");
+    }
+    out.resize(count);
+    std::memcpy(out.data(), bytes_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+void AppendMatrix(std::string& out, const Matrix& m) {
+  Append(out, static_cast<std::int32_t>(m.rows));
+  Append(out, static_cast<std::int32_t>(m.cols));
+  out.append(reinterpret_cast<const char*>(m.data.data()),
+             m.data.size() * sizeof(float));
+}
+
+Matrix TakeMatrix(Reader& reader) {
+  const auto rows = reader.Take<std::int32_t>();
+  const auto cols = reader.Take<std::int32_t>();
+  if (rows < 0 || cols < 0 || (rows > 0 && cols > 1 << 24)) {
+    throw std::runtime_error("pretrain state: bad matrix shape");
+  }
+  Matrix m(rows, cols);
+  reader.TakeFloats(m.data,
+                    static_cast<std::size_t>(rows) *
+                        static_cast<std::size_t>(cols));
+  return m;
+}
+
+void AppendMatrices(std::string& out, const std::vector<Matrix>& ms) {
+  Append(out, static_cast<std::uint32_t>(ms.size()));
+  for (const Matrix& m : ms) AppendMatrix(out, m);
+}
+
+std::vector<Matrix> TakeMatrices(Reader& reader) {
+  const auto count = reader.Take<std::uint32_t>();
+  std::vector<Matrix> ms;
+  ms.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) ms.push_back(TakeMatrix(reader));
+  return ms;
+}
+
+std::string EncodePayload(const PretrainState& state) {
+  std::string out;
+  Append(out, state.iteration);
+  Append(out, state.samples_seen);
+  Append(out, state.next_checkpoint_at);
+  Append(out, state.task_index);
+  for (const std::uint64_t word : state.rng_state) Append(out, word);
+  AppendMatrices(out, state.params);
+  Append(out, state.adam.step);
+  AppendMatrices(out, state.adam.m);
+  AppendMatrices(out, state.adam.v);
+  Append(out, static_cast<std::uint32_t>(state.emitted.size()));
+  for (const Checkpoint& checkpoint : state.emitted) {
+    Append(out, static_cast<std::int32_t>(checkpoint.id));
+    Append(out, static_cast<std::int32_t>(checkpoint.samples_seen));
+    Append(out, static_cast<std::uint8_t>(checkpoint.validated ? 1 : 0));
+    Append(out, checkpoint.zeroshot_score);
+    Append(out, checkpoint.finetune_score);
+    AppendMatrices(out, checkpoint.params);
+  }
+  return out;
+}
+
+PretrainState DecodePayload(const std::string& payload) {
+  Reader reader(payload);
+  PretrainState state;
+  state.iteration = reader.Take<std::int64_t>();
+  state.samples_seen = reader.Take<std::int64_t>();
+  state.next_checkpoint_at = reader.Take<std::int64_t>();
+  state.task_index = reader.Take<std::uint64_t>();
+  for (std::uint64_t& word : state.rng_state) {
+    word = reader.Take<std::uint64_t>();
+  }
+  state.params = TakeMatrices(reader);
+  state.adam.step = reader.Take<std::int64_t>();
+  state.adam.m = TakeMatrices(reader);
+  state.adam.v = TakeMatrices(reader);
+  const auto emitted = reader.Take<std::uint32_t>();
+  state.emitted.reserve(emitted);
+  for (std::uint32_t i = 0; i < emitted; ++i) {
+    Checkpoint checkpoint;
+    checkpoint.id = reader.Take<std::int32_t>();
+    checkpoint.samples_seen = reader.Take<std::int32_t>();
+    checkpoint.validated = reader.Take<std::uint8_t>() != 0;
+    checkpoint.zeroshot_score = reader.Take<double>();
+    checkpoint.finetune_score = reader.Take<double>();
+    checkpoint.params = TakeMatrices(reader);
+    state.emitted.push_back(std::move(checkpoint));
+  }
+  if (!reader.AtEnd()) {
+    throw std::runtime_error("pretrain state: trailing bytes in payload");
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint64_t PretrainConfigFingerprint(const PretrainConfig& config) {
+  const std::uint64_t fields[] = {
+      static_cast<std::uint64_t>(config.rl.num_chips),
+      static_cast<std::uint64_t>(config.rl.gnn_layers),
+      static_cast<std::uint64_t>(config.rl.hidden_dim),
+      static_cast<std::uint64_t>(config.rl.policy_layers),
+      static_cast<std::uint64_t>(config.rl.decode_iterations),
+      static_cast<std::uint64_t>(config.rl.rollouts_per_update),
+      static_cast<std::uint64_t>(config.rl.minibatches),
+      static_cast<std::uint64_t>(config.rl.epochs),
+      static_cast<std::uint64_t>(config.rl.solver_mode),
+      config.rl.seed,
+      static_cast<std::uint64_t>(config.total_samples),
+      static_cast<std::uint64_t>(config.num_checkpoints),
+      config.seed,
+  };
+  return HashSpan(fields);
+}
+
+std::string PretrainStatePath(const std::string& checkpoint_dir) {
+  return (std::filesystem::path(checkpoint_dir) / "pretrain_state.bin")
+      .string();
+}
+
+void SavePretrainState(const PretrainState& state,
+                       const PretrainConfig& config,
+                       const std::string& checkpoint_dir) {
+  static telemetry::Counter& saves =
+      telemetry::Counter::Get("pipeline/state_saves");
+  std::filesystem::create_directories(checkpoint_dir);
+  const std::string payload = EncodePayload(state);
+  const std::uint64_t checksum = Fnv1a(payload);
+  const std::string path = PretrainStatePath(checkpoint_dir);
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("SavePretrainState: cannot open " + tmp_path);
+    }
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint32_t version = kFormatVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const std::uint64_t fingerprint = PretrainConfigFingerprint(config);
+    out.write(reinterpret_cast<const char*>(&fingerprint),
+              sizeof(fingerprint));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    if (!out) {
+      throw std::runtime_error("SavePretrainState: write failed for " +
+                               tmp_path);
+    }
+  }
+  // Atomic publish: a kill between write and rename leaves the previous
+  // state file untouched; a kill mid-write leaves only the tmp file.
+  std::filesystem::rename(tmp_path, path);
+  saves.Add();
+}
+
+std::optional<PretrainState> LoadPretrainState(
+    const PretrainConfig& config, const std::string& checkpoint_dir) {
+  const std::string path = PretrainStatePath(checkpoint_dir);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  static telemetry::Counter& loads =
+      telemetry::Counter::Get("pipeline/state_loads");
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("LoadPretrainState: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kFormatVersion) {
+    throw std::runtime_error("LoadPretrainState: unsupported version in " +
+                             path);
+  }
+  std::uint64_t fingerprint = 0;
+  in.read(reinterpret_cast<char*>(&fingerprint), sizeof(fingerprint));
+  if (!in || fingerprint != PretrainConfigFingerprint(config)) {
+    throw std::runtime_error(
+        "LoadPretrainState: configuration fingerprint mismatch in " + path +
+        " (resuming requires the same model shape, budgets, and seed)");
+  }
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in) {
+    throw std::runtime_error("LoadPretrainState: truncated header in " +
+                             path);
+  }
+  std::string payload((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (Fnv1a(payload) != checksum) {
+    throw std::runtime_error("LoadPretrainState: checksum mismatch in " +
+                             path);
+  }
+  PretrainState state = DecodePayload(payload);
+  loads.Add();
+  return state;
+}
+
+}  // namespace mcm

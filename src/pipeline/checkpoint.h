@@ -1,0 +1,68 @@
+// Versioned binary checkpoints for the pre-training loop.
+//
+// A pretrain *state* file captures everything PretrainPipeline::Train needs
+// to continue as if it had never stopped: policy/value weights, Adam
+// moments, the trainer's RNG stream, the curriculum position (iteration,
+// samples seen, round-robin task index), and the checkpoints emitted so
+// far.  The contract is bit-identity: a run killed at any iteration and
+// resumed from its latest state file produces exactly the same final
+// weights, emitted checkpoints, and validation scores as an uninterrupted
+// run with the same configuration and seed (tests/faults_test.cc,
+// docs/OPERATIONS.md).
+//
+// File format (little-endian, see checkpoint.cc):
+//   8-byte magic "MCMCKPT1", u32 format version, u64 config fingerprint,
+//   u64 FNV-1a checksum of the payload, then the payload (curriculum
+//   scalars, RNG words, parameter/moment matrices, emitted checkpoints).
+// Writes are atomic (tmp file + rename), so a kill mid-save leaves the
+// previous state intact.  Loads verify magic, version, checksum, and the
+// fingerprint of the loading run's configuration, and throw
+// std::runtime_error on any mismatch -- resuming under a different
+// configuration would silently break the bit-identity contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/modules.h"
+#include "pipeline/pretrain.h"
+
+namespace mcm {
+
+// Complete training-loop state between iterations.
+struct PretrainState {
+  std::int64_t iteration = 0;
+  std::int64_t samples_seen = 0;
+  std::int64_t next_checkpoint_at = 0;
+  std::uint64_t task_index = 0;  // Round-robin cursor over graph tasks.
+  std::array<std::uint64_t, 4> rng_state{};  // Trainer sampling stream.
+  std::vector<Matrix> params;    // Policy/value weights.
+  Adam::State adam;              // Optimizer step + moment estimates.
+  std::vector<Checkpoint> emitted;  // Checkpoints produced so far.
+};
+
+// Stable hash of the configuration fields that shape the training
+// trajectory (network shape, PPO budgets, seed).  Stored in the state file
+// and revalidated on load.
+std::uint64_t PretrainConfigFingerprint(const PretrainConfig& config);
+
+// The state file inside a checkpoint directory.
+std::string PretrainStatePath(const std::string& checkpoint_dir);
+
+// Atomically writes `state` into `checkpoint_dir` (created if missing).
+// Throws std::runtime_error on I/O failure.
+void SavePretrainState(const PretrainState& state,
+                       const PretrainConfig& config,
+                       const std::string& checkpoint_dir);
+
+// Loads the state file from `checkpoint_dir`.  Returns nullopt when no
+// state file exists (fresh start); throws std::runtime_error when the file
+// exists but is corrupt, truncated, from an incompatible format version,
+// or fingerprint-mismatched against `config`.
+std::optional<PretrainState> LoadPretrainState(
+    const PretrainConfig& config, const std::string& checkpoint_dir);
+
+}  // namespace mcm

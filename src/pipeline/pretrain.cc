@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "pipeline/checkpoint.h"
 #include "runtime/thread_pool.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -21,7 +22,8 @@ constexpr double kCheckpointSecondsBounds[] = {0.1, 0.5, 1.0,  5.0,
 
 std::vector<GraphTask> BuildGraphTasks(const std::vector<Graph>& graphs,
                                        CostModel& model, int num_chips,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       CostModel* fallback) {
   // Fan-out: context construction (feature extraction + solver setup) and
   // the heuristic baseline are independent per graph.  Each task gets a
   // substream of `seed`; baselines repair through the task's own solver.
@@ -35,11 +37,13 @@ std::vector<GraphTask> BuildGraphTasks(const std::vector<Graph>& graphs,
                 task.context = std::make_unique<GraphContext>(graph, num_chips);
                 Rng rng(HashCombine(seed, static_cast<std::uint64_t>(gi)));
                 BaselineResult baseline = ComputeHeuristicBaseline(
-                    graph, model, task.context->solver(), rng);
+                    graph, model, task.context->solver(), rng, fallback);
                 if (!baseline.eval.valid) return;
                 task.baseline_runtime_s = baseline.eval.runtime_s;
                 task.env = std::make_unique<PartitionEnv>(
-                    graph, model, task.baseline_runtime_s);
+                    graph, model, task.baseline_runtime_s,
+                    PartitionEnv::Objective::kThroughput,
+                    /*eval_cache_capacity=*/-1, fallback);
                 valid[static_cast<std::size_t>(gi)] = 1;
               });
   std::vector<GraphTask> tasks;
@@ -56,8 +60,12 @@ std::vector<GraphTask> BuildGraphTasks(const std::vector<Graph>& graphs,
 }
 
 PretrainPipeline::PretrainPipeline(PretrainConfig config,
-                                   CostModel& reward_model)
-    : config_(config), reward_model_(&reward_model), policy_(config.rl) {}
+                                   CostModel& reward_model,
+                                   CostModel* fallback_model)
+    : config_(config),
+      reward_model_(&reward_model),
+      fallback_model_(fallback_model),
+      policy_(config.rl) {}
 
 std::vector<Checkpoint> PretrainPipeline::Train(
     const std::vector<Graph>& train_graphs) {
@@ -68,7 +76,7 @@ std::vector<Checkpoint> PretrainPipeline::Train(
       "pipeline/checkpoint_train_s", kCheckpointSecondsBounds);
   std::vector<GraphTask> tasks = BuildGraphTasks(
       train_graphs, *reward_model_, config_.rl.num_chips,
-      HashCombine(config_.seed, 0x7261696eULL));
+      HashCombine(config_.seed, 0x7261696eULL), fallback_model_);
   MCM_CHECK(!tasks.empty());
 
   PpoTrainer trainer(policy_, Rng(HashCombine(config_.seed, 1)));
@@ -80,13 +88,55 @@ std::vector<Checkpoint> PretrainPipeline::Train(
   int samples_seen = 0;
   int next_checkpoint_at = samples_per_checkpoint;
   std::size_t task_index = 0;
+  std::int64_t iteration = 0;
+
+  if (config_.resume && !config_.checkpoint_dir.empty()) {
+    if (auto state = LoadPretrainState(config_, config_.checkpoint_dir)) {
+      static telemetry::Counter& resumes =
+          telemetry::Counter::Get("pipeline/resumes");
+      RestoreParams(policy_.Params(), state->params);
+      trainer.optimizer().SetState(state->adam);
+      trainer.rng().SetState(state->rng_state);
+      iteration = state->iteration;
+      samples_seen = static_cast<int>(state->samples_seen);
+      next_checkpoint_at = static_cast<int>(state->next_checkpoint_at);
+      task_index = static_cast<std::size_t>(state->task_index);
+      checkpoints = std::move(state->emitted);
+      resumes.Add();
+      MCM_LOG(kInfo) << "resumed pretraining at iteration " << iteration
+                     << " (" << samples_seen << " samples)";
+    }
+  }
+
+  // Snapshot of everything the next iteration depends on; saving it and
+  // restoring later continues the run bit-identically.
+  const auto save_state = [&]() {
+    if (config_.checkpoint_dir.empty()) return;
+    PretrainState state;
+    state.iteration = iteration;
+    state.samples_seen = samples_seen;
+    state.next_checkpoint_at = next_checkpoint_at;
+    state.task_index = static_cast<std::uint64_t>(task_index);
+    state.rng_state = trainer.rng().GetState();
+    state.params = SnapshotParams(policy_.Params());
+    state.adam = trainer.optimizer().GetState();
+    state.emitted = checkpoints;
+    SavePretrainState(state, config_, config_.checkpoint_dir);
+  };
+
   double checkpoint_start = telemetry::MonotonicSeconds();
   while (samples_seen < config_.total_samples) {
+    if (config_.stop_after_iterations > 0 &&
+        iteration >= config_.stop_after_iterations) {
+      save_state();
+      return checkpoints;
+    }
     GraphTask& task = tasks[task_index];
     task_index = (task_index + 1) % tasks.size();
     const PpoTrainer::IterationResult result =
         trainer.Iterate(*task.context, *task.env);
     samples_seen += static_cast<int>(result.rewards.size());
+    ++iteration;
     if (samples_seen >= next_checkpoint_at &&
         static_cast<int>(checkpoints.size()) < config_.num_checkpoints) {
       Checkpoint checkpoint;
@@ -100,6 +150,10 @@ std::vector<Checkpoint> PretrainPipeline::Train(
       checkpoint_seconds.Observe(now - checkpoint_start);
       checkpoint_start = now;
     }
+    if (config_.checkpoint_every > 0 &&
+        iteration % config_.checkpoint_every == 0) {
+      save_state();
+    }
   }
   // Always keep the final weights as the last checkpoint.
   if (checkpoints.empty() ||
@@ -110,6 +164,7 @@ std::vector<Checkpoint> PretrainPipeline::Train(
     checkpoint.params = SnapshotParams(policy_.Params());
     checkpoints.push_back(std::move(checkpoint));
   }
+  save_state();
   return checkpoints;
 }
 
@@ -119,7 +174,7 @@ int PretrainPipeline::Validate(std::vector<Checkpoint>& checkpoints,
   MCM_CHECK(!checkpoints.empty());
   std::vector<GraphTask> tasks = BuildGraphTasks(
       validation_graphs, *reward_model_, config_.rl.num_chips,
-      HashCombine(config_.seed, 0x76616cULL));
+      HashCombine(config_.seed, 0x76616cULL), fallback_model_);
   MCM_CHECK(!tasks.empty());
 
   // The validation worker is a pure fan-out: every (checkpoint, graph) cell

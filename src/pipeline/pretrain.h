@@ -35,6 +35,25 @@ struct PretrainConfig {
   // manageable at quick scale (1 = score all, the paper's setting).
   int validate_every = 1;
   std::uint64_t seed = 20220301;
+
+  // Checkpoint/resume (pipeline/checkpoint.h, docs/OPERATIONS.md).  When
+  // `checkpoint_dir` is set, Train() atomically saves its complete state
+  // (weights, Adam moments, RNG stream, curriculum position, emitted
+  // checkpoints) there every `checkpoint_every` iterations (0 = only at
+  // the very end) and on completion.  With `resume` set, Train() first
+  // restores the directory's state file if one exists and continues
+  // bit-identically to an uninterrupted run; a missing state file means a
+  // fresh start, while an incompatible one (different shape/budget/seed)
+  // throws.
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+  bool resume = false;
+  // Stop training after this many iterations (0 = run to completion),
+  // saving state first when a checkpoint_dir is set.  A deterministic
+  // interruption lever: tests and the kill-and-resume walkthrough use it
+  // to cut a run at an exact point.  Early-stopped runs do not append the
+  // final-weights checkpoint -- that happens only at full completion.
+  int stop_after_iterations = 0;
 };
 
 struct Checkpoint {
@@ -57,14 +76,23 @@ struct GraphTask {
 
 // Builds GraphTasks (contexts + baselines) for a set of graphs against a
 // cost model.  Graphs whose heuristic baseline fails to evaluate (it never
-// does for the analytical model) are skipped with a warning.
+// does for the analytical model) are skipped with a warning.  `fallback`
+// (optional, not owned) is handed to each task's environment as the
+// degradation model for permanently failing evaluations (see
+// faults/faults.h); it must outlive the returned tasks.
 std::vector<GraphTask> BuildGraphTasks(const std::vector<Graph>& graphs,
                                        CostModel& model, int num_chips,
-                                       std::uint64_t seed);
+                                       std::uint64_t seed,
+                                       CostModel* fallback = nullptr);
 
 class PretrainPipeline {
  public:
-  PretrainPipeline(PretrainConfig config, CostModel& reward_model);
+  // `fallback_model` (optional, not owned) is the graceful-degradation
+  // evaluator used when `reward_model` keeps failing transiently --
+  // typically the analytical model backing up hwsim.  Both models must
+  // outlive the pipeline.
+  PretrainPipeline(PretrainConfig config, CostModel& reward_model,
+                   CostModel* fallback_model = nullptr);
 
   // Training phase: PPO over the training graphs (round-robin), emitting
   // `num_checkpoints` evenly spaced parameter snapshots.
@@ -94,6 +122,7 @@ class PretrainPipeline {
  private:
   PretrainConfig config_;
   CostModel* reward_model_;
+  CostModel* fallback_model_;
   PolicyNetwork policy_;
 };
 

@@ -14,7 +14,8 @@ SolveResult RepairPartition(CpSolver& solver, const Graph& graph,
 }
 
 BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
-                                        CpSolver& solver, Rng& rng) {
+                                        CpSolver& solver, Rng& rng,
+                                        CostModel* fallback) {
   const Partition greedy =
       GreedyContiguousByCount(graph, solver.num_chips());
   BaselineResult result;
@@ -36,15 +37,20 @@ BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
     }
     (void)rng;
   }
-  result.eval = model.Evaluate(graph, result.partition);
+  // The baseline anchors every reward in a run, so it deserves the same
+  // retry/degradation protection as rollout evaluations.
+  ResilientCostModel resilient(&model, fallback, RetryPolicy::FromEnv());
+  result.eval = resilient.Evaluate(graph, result.partition);
   return result;
 }
 
 PartitionEnv::PartitionEnv(const Graph& graph, CostModel& model,
                            double baseline_runtime_s, Objective objective,
-                           int eval_cache_capacity)
+                           int eval_cache_capacity, CostModel* fallback_model)
     : graph_(&graph),
       model_(&model),
+      resilient_(std::make_shared<ResilientCostModel>(&model, fallback_model,
+                                                      RetryPolicy::FromEnv())),
       baseline_runtime_s_(baseline_runtime_s),
       objective_(objective) {
   const int capacity = eval_cache_capacity < 0 ? DefaultEvalCacheCapacity()
@@ -58,8 +64,8 @@ PartitionEnv::PartitionEnv(const Graph& graph, CostModel& model,
 double PartitionEnv::Score(const Partition& partition,
                            EvalResult* eval) const {
   *eval = eval_cache_ != nullptr
-              ? eval_cache_->Evaluate(*graph_, *model_, partition)
-              : model_->Evaluate(*graph_, partition);
+              ? eval_cache_->Evaluate(*graph_, *resilient_, partition)
+              : resilient_->Evaluate(*graph_, partition);
   const double cost = objective_ == Objective::kLatency ? eval->latency_s
                                                         : eval->runtime_s;
   if (!eval->valid || cost <= 0.0) return 0.0;

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "costmodel/cost_model.h"
 #include "costmodel/eval_cache.h"
+#include "faults/faults.h"
 #include "graph/graph.h"
 #include "partition/partition.h"
 #include "rl/policy.h"
@@ -33,8 +34,12 @@ struct BaselineResult {
   Partition partition;
   EvalResult eval;
 };
+// `fallback` (optional, not owned) is the degradation model used when
+// `model` keeps failing transiently; see ResilientCostModel.  The baseline
+// evaluation runs through the same retry/degradation path as rollouts.
 BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
-                                        CpSolver& solver, Rng& rng);
+                                        CpSolver& solver, Rng& rng,
+                                        CostModel* fallback = nullptr);
 
 class PartitionEnv {
  public:
@@ -51,10 +56,20 @@ class PartitionEnv {
   // MCMPART_EVAL_CACHE).  Copies of an env share one cache -- the cache is
   // pure memoization of a stateless Evaluate, so sharing never changes
   // results, only wall time.
+  //
+  // Every evaluation runs through a ResilientCostModel wrapping `model`:
+  // transient failures (timeouts, evaluator errors, NaN costs -- see
+  // faults/faults.h) are retried with backoff, and after retry exhaustion
+  // the evaluation degrades to `fallback_model` when one is provided
+  // (counted in faults/degraded_evals) or scores as invalid.  With a
+  // model that never fails transiently (the analytical model, or hwsim
+  // without fault injection) this wrapper is a deterministic no-op.
+  // `fallback_model` is not owned and must outlive the env and its copies.
   PartitionEnv(const Graph& graph, CostModel& model,
                double baseline_runtime_s,
                Objective objective = Objective::kThroughput,
-               int eval_cache_capacity = -1);
+               int eval_cache_capacity = -1,
+               CostModel* fallback_model = nullptr);
 
   Objective objective() const { return objective_; }
 
@@ -97,6 +112,9 @@ class PartitionEnv {
  private:
   const Graph* graph_;
   CostModel* model_;
+  // Retry/degradation wrapper around model_; shared across env copies like
+  // the cache (stateless Evaluate, so sharing never changes results).
+  std::shared_ptr<ResilientCostModel> resilient_;
   std::shared_ptr<EvalCache> eval_cache_;  // Null when disabled.
   double baseline_runtime_s_;
   Objective objective_;

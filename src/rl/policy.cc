@@ -67,7 +67,7 @@ PolicyNetwork::PolicyNetwork(const RlConfig& config)
       value_head_("value",
                   MlpDims(config.hidden_dim, config.hidden_dim, 1, 2),
                   init_rng_) {
-  embed_cache_enabled_ = GetEnvInt("MCMPART_EMBED_CACHE", 1) != 0;
+  embed_cache_enabled_ = GetEnvInt("MCMPART_EMBED_CACHE", 1, 0, 1) != 0;
 }
 
 void PolicyNetwork::set_embedding_cache_enabled(bool enabled) {

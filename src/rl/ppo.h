@@ -37,6 +37,9 @@ class PpoTrainer {
 
   PolicyNetwork& policy() { return policy_; }
   Adam& optimizer() { return adam_; }
+  // The trainer's sampling stream; exposed so checkpoint/resume can save
+  // and restore it (see pipeline/checkpoint.h).
+  Rng& rng() { return rng_; }
 
  private:
   std::vector<Rollout> CollectRollouts(GraphContext& context,

@@ -169,7 +169,8 @@ int g_default_threads = 0;  // 0 = not yet resolved.  mcmlint: guarded-by(g_defa
 std::unique_ptr<ThreadPool> g_default_pool;  // mcmlint: guarded-by(g_default_mu)
 
 int ResolveThreadCount() {
-  const std::int64_t from_env = GetEnvInt("MCMPART_THREADS", 0);
+  // 0 = "use hardware concurrency"; negatives are clamped with a warning.
+  const std::int64_t from_env = GetEnvInt("MCMPART_THREADS", 0, 0, 4096);
   if (from_env >= 1) return static_cast<int>(from_env);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/trace.h"
 
 namespace mcm {
 
@@ -31,6 +32,24 @@ void CpSolver::Reset() {
   support_zero_pending_ = false;
   support_one_pending_ = false;
   fixed_adj_.assign(static_cast<std::size_t>(num_chips_), 0);
+  solve_start_propagations_ = stats_.propagations;
+  solve_deadline_at_s_ =
+      options_.deadline_s > 0.0
+          ? telemetry::MonotonicSeconds() + options_.deadline_s
+          : 0.0;
+}
+
+bool CpSolver::BudgetExhausted() const {
+  if (options_.propagation_budget > 0 &&
+      stats_.propagations - solve_start_propagations_ >=
+          options_.propagation_budget) {
+    return true;
+  }
+  if (solve_deadline_at_s_ > 0.0 &&
+      telemetry::MonotonicSeconds() > solve_deadline_at_s_) {
+    return true;
+  }
+  return false;
 }
 
 bool CpSolver::Narrow(int node, ChipDomain new_domain) {
@@ -402,6 +421,7 @@ void CpSolver::ClearPropagationState() {
 int CpSolver::SetDomain(int node, ChipDomain domain) {
   MCM_CHECK_GE(node, 0);
   MCM_CHECK_LT(node, num_nodes());
+  if (BudgetExhausted()) return kBudgetExhausted;
   level_starts_.push_back(trail_.size());
   decisions_.push_back(Decision{node, domain});
 

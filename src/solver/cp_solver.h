@@ -66,7 +66,25 @@ class CpSolver {
     // solutions that interpose a never-connected chip inside a dependency
     // span) but essential for tractable sampling on deep graphs.
     bool assume_connected_used_chips = true;
+    // Work budget per solve attempt: when > 0, a SetDomain call issued after
+    // the solve (since the last Reset) has accumulated this many propagation
+    // events fails with kBudgetExhausted instead of searching on.  Drivers
+    // treat that like any failure and degrade to the greedy heuristic (see
+    // modes.cc), so a pathological instance costs bounded work instead of
+    // aborting the run.  0 = unlimited (the default).
+    std::int64_t propagation_budget = 0;
+    // Wall-clock deadline per solve attempt in seconds, measured from
+    // Reset(); 0 disables (the default).  Unlike propagation_budget this
+    // reads the monotonic clock, so exceeding it makes the *solve effort*
+    // machine-dependent -- results stay valid but are no longer bit-
+    // reproducible across machines.  Use the propagation budget when the
+    // determinism contract matters.
+    double deadline_s = 0.0;
   };
+
+  // SetDomain return value when the solve attempt exceeded its
+  // propagation_budget or deadline_s (distinct from -1, root infeasible).
+  static constexpr int kBudgetExhausted = -2;
 
   struct Stats {
     std::int64_t decisions = 0;       // Successful SetDomain commits.
@@ -169,10 +187,18 @@ class CpSolver {
   // cross-chip edges into delta_ and adjacency into fixed_adj_.
   void RebuildFixedChipGraph();
 
+  // True when the current solve attempt has exhausted its propagation or
+  // wall-clock budget (see Options); checked at every SetDomain.
+  bool BudgetExhausted() const;
+
   const Graph& graph_;
   const int num_chips_;
   const Options options_;
   Stats stats_;
+
+  // Budget bookkeeping for the current solve attempt (reset by Reset()).
+  std::int64_t solve_start_propagations_ = 0;
+  double solve_deadline_at_s_ = 0.0;  // Absolute MonotonicSeconds; 0 = off.
 
   std::vector<ChipDomain> domains_;
   std::vector<TrailEntry> trail_;

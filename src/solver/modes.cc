@@ -4,7 +4,9 @@
 
 #include <numeric>
 
+#include "common/env.h"
 #include "common/logging.h"
+#include "partition/heuristics.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -31,8 +33,34 @@ void RecordSolveTelemetry(const CpSolver::Stats& before,
 }
 
 // Defensive ceiling on solver work: a solve that exceeds this many SetDomain
-// calls (heavy thrashing) is reported as a failure rather than looping.
-constexpr std::int64_t kMaxSetDomainCallsPerNode = 30;
+// calls per node (heavy thrashing) is reported as a failure rather than
+// looping.  MCMPART_SOLVER_BUDGET overrides the default of 30; read once so
+// every solve in a process sees the same budget.
+std::int64_t SetDomainCallsPerNode() {
+  static const std::int64_t budget =
+      GetEnvInt("MCMPART_SOLVER_BUDGET", 30, 1, 1000000);
+  return budget;
+}
+
+// The degradation ladder's last rungs: the greedy contiguous heuristic, or
+// the always-valid single-chip partition when even greedy violates a
+// constraint.  Returned (success=true, degraded=true) when every restart
+// attempt exhausted its budget, so callers never see an aborted solve.
+SolveResult DegradedFallback(const CpSolver& solver, const Graph& graph) {
+  static telemetry::Counter& degraded_solves =
+      telemetry::Counter::Get("solver/degraded_solves");
+  SolveResult result;
+  Partition greedy = GreedyContiguousByCount(graph, solver.num_chips());
+  if (!IsStaticallyValid(graph, greedy)) {
+    greedy = Partition::Empty(graph.NumNodes(), solver.num_chips());
+    std::fill(greedy.assignment.begin(), greedy.assignment.end(), 0);
+  }
+  result.partition = std::move(greedy);
+  result.success = true;
+  result.degraded = true;
+  degraded_solves.Add();
+  return result;
+}
 
 // Value-selection policy shared by the solve drivers.  Two soft rules shape
 // where a sampled chip lands, each dropped if it would empty the choice set:
@@ -196,7 +224,7 @@ SolveResult SolveSampleImpl(CpSolver& solver, std::span<const int> order,
   solver.Reset();
 
   SolveResult result;
-  const std::int64_t budget = kMaxSetDomainCallsPerNode * n;
+  const std::int64_t budget = SetDomainCallsPerNode() * n;
   const double pace_scale = DrawPaceScale(rng);
   int i = 0;
   while (i < n) {
@@ -238,7 +266,7 @@ SolveResult SolveFixImpl(CpSolver& solver, std::span<const int> order,
   solver.Reset();
 
   SolveResult result;
-  const std::int64_t budget = kMaxSetDomainCallsPerNode * n;
+  const std::int64_t budget = SetDomainCallsPerNode() * n;
   const double pace_scale = DrawPaceScale(rng);
   int i = 0;
   while (i < 2 * n) {
@@ -332,6 +360,7 @@ SolveResult SolveSampleWithRestarts(CpSolver& solver, const Graph& graph,
     total_calls += result.set_domain_calls;
     if (result.success) break;
   }
+  if (!result.success) result = DegradedFallback(solver, graph);
   result.set_domain_calls = total_calls;
   return result;
 }
@@ -346,6 +375,12 @@ SolveResult SolveFixWithRestarts(CpSolver& solver, const Graph& graph,
     result = SolveFix(solver, order, candidate, rng);
     total_calls += result.set_domain_calls;
     if (result.success) break;
+  }
+  if (!result.success) {
+    result = DegradedFallback(solver, graph);
+    for (int u = 0; u < solver.num_nodes(); ++u) {
+      if (result.partition.chip(u) == candidate.chip(u)) ++result.nodes_kept;
+    }
   }
   result.set_domain_calls = total_calls;
   return result;

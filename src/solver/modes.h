@@ -51,6 +51,10 @@ struct SolveResult {
   int nodes_kept = 0;
   // SetDomain invocations this solve (a proxy for solver effort).
   std::int64_t set_domain_calls = 0;
+  // True when every solve attempt exhausted its budget and the partition is
+  // the greedy-heuristic fallback (statically valid, but no CP search went
+  // into it).  Only the WithRestarts entry points degrade; success is true.
+  bool degraded = false;
 };
 
 // Node-order strategies.  The paper defaults to a fresh random order per
@@ -87,9 +91,15 @@ SolveResult SolveFix(CpSolver& solver, std::span<const int> order,
                      const Partition& candidate, Rng& rng);
 
 // Restarting variants (the recommended entry points): each attempt uses a
-// fresh ALAP-random order and a bounded SetDomain budget; chronic thrashing
-// on one order is usually cheap to escape on another -- the same reasoning
-// behind CP-SAT's aggressive restart policy.
+// fresh ALAP-random order and a bounded SetDomain budget (30 calls per node
+// by default; MCMPART_SOLVER_BUDGET overrides); chronic thrashing on one
+// order is usually cheap to escape on another -- the same reasoning behind
+// CP-SAT's aggressive restart policy.  When every attempt exhausts its
+// budget, the result *degrades* instead of failing: the greedy contiguous
+// heuristic (partition/heuristics.h), or the always-valid single-chip
+// partition if even that is invalid, is returned with success=true and
+// degraded=true (counted in solver/degraded_solves).  Callers therefore
+// always receive a statically valid partition.
 SolveResult SolveSampleWithRestarts(CpSolver& solver, const Graph& graph,
                                     const ProbMatrix& probs, Rng& rng,
                                     int max_attempts = 6);

@@ -256,11 +256,22 @@ void RegisterStandardMetrics() {
       "costmodel/eval_cache_evictions",
       "costmodel/eval_cache_hits",
       "costmodel/eval_cache_misses",
+      "faults/degraded_evals",
+      "faults/injected",
+      "faults/injected_invalid",
+      "faults/injected_nan",
+      "faults/injected_timeout",
+      "faults/recovered",
+      "faults/retries",
+      "faults/retry_exhausted",
       "hwsim/link_bound_evals",
       "hwsim/oom_rejections",
       "hwsim/simulations",
       "hwsim/static_invalid",
       "pipeline/checkpoints",
+      "pipeline/resumes",
+      "pipeline/state_loads",
+      "pipeline/state_saves",
       "pipeline/validate_cells",
       "rl/embed_cache_hits",
       "rl/embed_cache_misses",
@@ -274,6 +285,7 @@ void RegisterStandardMetrics() {
       "search/random_samples",
       "search/sa_proposals",
       "solver/backtracks",
+      "solver/degraded_solves",
       "solver/fix_already_feasible",
       "solver/fix_repaired",
       "solver/fix_solves",

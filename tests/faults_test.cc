@@ -1,0 +1,570 @@
+// Tests for the fault-tolerance layer: deterministic fault injection,
+// retry/backoff policy, the resilient cost-model decorator, solver budget
+// degradation, checkpoint/resume bit-identity, and env-knob clamping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "costmodel/cost_model.h"
+#include "faults/faults.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "partition/partition.h"
+#include "pipeline/checkpoint.h"
+#include "pipeline/pretrain.h"
+#include "runtime/thread_pool.h"
+#include "solver/cp_solver.h"
+#include "solver/modes.h"
+#include "telemetry/metrics.h"
+
+namespace mcm {
+namespace {
+
+Graph Chain(int n) {
+  Graph g("chain");
+  for (int i = 0; i < n; ++i) {
+    g.AddNode(OpType::kRelu, "n" + std::to_string(i), 1.0, 1.0);
+    if (i > 0) g.AddEdge(i - 1, i);
+  }
+  return g;
+}
+
+Partition AllZeros(int num_nodes, int num_chips) {
+  Partition p = Partition::Empty(num_nodes, num_chips);
+  for (int& chip : p.assignment) chip = 0;
+  return p;
+}
+
+std::int64_t CounterValue(const char* name) {
+  return telemetry::Counter::Get(name).Value();
+}
+
+// ---- FaultInjector ----------------------------------------------------------
+
+FaultConfig HalfRate() {
+  FaultConfig config;
+  config.rate = 0.5;
+  return config;
+}
+
+TEST(FaultInjectorTest, SampleIsPureAndSeedSensitive) {
+  const FaultInjector a(HalfRate());
+  const FaultInjector b(HalfRate());
+  FaultConfig reseeded = HalfRate();
+  reseeded.seed ^= 0x5eedULL;
+  const FaultInjector c(reseeded);
+
+  int fired = 0;
+  bool seed_changes_draws = false;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    FaultKind kind_a{};
+    FaultKind kind_b{};
+    FaultKind kind_c{};
+    const bool fa = a.Sample(key, &kind_a);
+    const bool fb = b.Sample(key, &kind_b);
+    const bool fc = c.Sample(key, &kind_c);
+    EXPECT_EQ(fa, fb);
+    if (fa) {
+      EXPECT_EQ(kind_a, kind_b);
+      ++fired;
+    }
+    if (fa != fc) seed_changes_draws = true;
+  }
+  // rate=0.5 over 1000 keys: the hash should fire roughly half the time.
+  EXPECT_GT(fired, 350);
+  EXPECT_LT(fired, 650);
+  EXPECT_TRUE(seed_changes_draws);
+}
+
+TEST(FaultInjectorTest, SampleIsIdenticalAcrossThreadCounts) {
+  const FaultInjector injector(HalfRate());
+  constexpr int kKeys = 512;
+
+  const auto draw_all = [&](ThreadPool& pool) {
+    std::vector<int> out(kKeys, -1);
+    pool.ParallelFor(0, kKeys, [&](std::int64_t i) {
+      FaultKind kind{};
+      const bool fired =
+          injector.Sample(static_cast<std::uint64_t>(i), &kind);
+      out[static_cast<std::size_t>(i)] =
+          fired ? 1 + static_cast<int>(kind) : 0;
+    });
+    return out;
+  };
+
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  EXPECT_EQ(draw_all(serial), draw_all(parallel));
+}
+
+TEST(FaultInjectorTest, RateEndpoints) {
+  FaultConfig off;
+  off.rate = 0.0;
+  FaultConfig on;
+  on.rate = 1.0;
+  const FaultInjector never(off);
+  const FaultInjector always(on);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    FaultKind kind{};
+    EXPECT_FALSE(never.Sample(key, &kind));
+    EXPECT_TRUE(always.Sample(key, &kind));
+  }
+}
+
+TEST(FaultInjectorTest, KindRestrictionIsHonored) {
+  FaultConfig config;
+  config.rate = 1.0;
+  config.enable_timeout = false;
+  config.enable_spurious_invalid = false;
+  config.enable_nan_cost = true;
+  const FaultInjector injector(config);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    FaultKind kind{};
+    ASSERT_TRUE(injector.Sample(key, &kind));
+    EXPECT_EQ(kind, FaultKind::kNanCost);
+  }
+}
+
+TEST(FaultInjectorTest, NextReplaysIdenticallyAndAdvancesPerKey) {
+  FaultInjector a(HalfRate());
+  FaultInjector b(HalfRate());
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      FaultKind kind_a{};
+      FaultKind kind_b{};
+      const bool fa = a.Next(key, &kind_a);
+      const bool fb = b.Next(key, &kind_b);
+      EXPECT_EQ(fa, fb);
+      if (fa) {
+        EXPECT_EQ(kind_a, kind_b);
+      }
+    }
+  }
+  // Attempts draw fresh keys: at rate 0.5 a key cannot fire (or miss) on
+  // all 16 attempts unless the hash is badly broken.
+  FaultInjector c(HalfRate());
+  int fired = 0;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    FaultKind kind{};
+    if (c.Next(42, &kind)) ++fired;
+  }
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 16);
+}
+
+TEST(FaultConfigTest, FromEnvParsesAndClamps) {
+  ::setenv("MCMPART_FAULT_RATE", "2.5", 1);
+  ::setenv("MCMPART_FAULT_KINDS", "nan,timeout", 1);
+  ::setenv("MCMPART_FAULT_SEED", "123", 1);
+  const FaultConfig config = FaultConfig::FromEnv();
+  ::unsetenv("MCMPART_FAULT_RATE");
+  ::unsetenv("MCMPART_FAULT_KINDS");
+  ::unsetenv("MCMPART_FAULT_SEED");
+  EXPECT_DOUBLE_EQ(config.rate, 1.0);  // Clamped from 2.5.
+  EXPECT_EQ(config.seed, 123u);
+  EXPECT_TRUE(config.enable_timeout);
+  EXPECT_TRUE(config.enable_nan_cost);
+  EXPECT_FALSE(config.enable_spurious_invalid);
+}
+
+// ---- RetryPolicy ------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffStaysWithinJitteredExponentialBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 1e-3;
+  policy.max_backoff_s = 0.25;
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    for (int attempt = 1; attempt <= 10; ++attempt) {
+      const double base =
+          std::min(policy.max_backoff_s,
+                   policy.initial_backoff_s * std::exp2(attempt - 1));
+      const double backoff = policy.BackoffSeconds(key, attempt);
+      EXPECT_GE(backoff, 0.5 * base);
+      EXPECT_LT(backoff, 1.5 * base);
+      // Deterministic: the same (key, attempt) always backs off equally.
+      EXPECT_DOUBLE_EQ(backoff, policy.BackoffSeconds(key, attempt));
+    }
+  }
+}
+
+TEST(RetryPolicyTest, JitterVariesWithKey) {
+  const RetryPolicy policy;
+  bool varies = false;
+  for (std::uint64_t key = 1; key < 16 && !varies; ++key) {
+    varies = policy.BackoffSeconds(key, 3) != policy.BackoffSeconds(0, 3);
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(RetryPolicyTest, FromEnvClampsNegatives) {
+  ::setenv("MCMPART_EVAL_RETRIES", "-3", 1);
+  ::setenv("MCMPART_EVAL_BACKOFF_MS", "-10", 1);
+  ::setenv("MCMPART_EVAL_DEADLINE_MS", "-1", 1);
+  const RetryPolicy policy = RetryPolicy::FromEnv();
+  ::unsetenv("MCMPART_EVAL_RETRIES");
+  ::unsetenv("MCMPART_EVAL_BACKOFF_MS");
+  ::unsetenv("MCMPART_EVAL_DEADLINE_MS");
+  EXPECT_EQ(policy.max_retries, 0);
+  EXPECT_DOUBLE_EQ(policy.initial_backoff_s, 0.0);
+  EXPECT_DOUBLE_EQ(policy.deadline_s, 0.0);
+}
+
+// ---- ResilientCostModel -----------------------------------------------------
+
+// Scripted model: returns the queued results in order, then `steady` for
+// every further call.
+class ScriptedModel final : public CostModel {
+ public:
+  ScriptedModel(std::vector<EvalResult> script, EvalResult steady)
+      : script_(std::move(script)), steady_(steady) {}
+
+  EvalResult Evaluate(const Graph&, const Partition&) override {
+    const std::size_t call = calls_++;
+    return call < script_.size() ? script_[call] : steady_;
+  }
+  std::string name() const override { return "scripted"; }
+  int calls() const { return static_cast<int>(calls_); }
+
+ private:
+  const std::vector<EvalResult> script_;
+  const EvalResult steady_;
+  std::size_t calls_ = 0;
+};
+
+RetryPolicy InstantRetries(int max_retries) {
+  RetryPolicy policy;
+  policy.max_retries = max_retries;
+  policy.initial_backoff_s = 0.0;
+  policy.max_backoff_s = 0.0;
+  policy.deadline_s = 0.0;  // Disabled: no clock reads.
+  return policy;
+}
+
+TEST(ResilientCostModelTest, RecoversAfterTransientFailures) {
+  const Graph g = Chain(4);
+  const Partition p = AllZeros(4, 2);
+  ScriptedModel flaky({EvalResult::Invalid(EvalFailure::kTimeout),
+                       EvalResult::Invalid(EvalFailure::kEvaluatorError)},
+                      EvalResult::Valid(2.0));
+  ResilientCostModel resilient(&flaky, nullptr, InstantRetries(4));
+
+  const std::int64_t retries_before = CounterValue("faults/retries");
+  const std::int64_t recovered_before = CounterValue("faults/recovered");
+  const EvalResult result = resilient.Evaluate(g, p);
+  EXPECT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.runtime_s, 2.0);
+  EXPECT_EQ(flaky.calls(), 3);
+  EXPECT_EQ(CounterValue("faults/retries") - retries_before, 2);
+  EXPECT_EQ(CounterValue("faults/recovered") - recovered_before, 1);
+}
+
+TEST(ResilientCostModelTest, ExhaustionFallsBackToSecondaryModel) {
+  const Graph g = Chain(4);
+  const Partition p = AllZeros(4, 2);
+  ScriptedModel broken({}, EvalResult::Invalid(EvalFailure::kTimeout));
+  AnalyticalCostModel analytical{McmConfig{}};
+  ResilientCostModel resilient(&broken, &analytical, InstantRetries(2));
+
+  const std::int64_t exhausted_before =
+      CounterValue("faults/retry_exhausted");
+  const std::int64_t degraded_before = CounterValue("faults/degraded_evals");
+  const EvalResult result = resilient.Evaluate(g, p);
+  EXPECT_TRUE(result.valid);  // The analytical fallback scored it.
+  EXPECT_GT(result.runtime_s, 0.0);
+  EXPECT_EQ(broken.calls(), 3);  // 1 initial + 2 retries.
+  EXPECT_EQ(CounterValue("faults/retry_exhausted") - exhausted_before, 1);
+  EXPECT_EQ(CounterValue("faults/degraded_evals") - degraded_before, 1);
+}
+
+TEST(ResilientCostModelTest, NanCostIsSanitizedWithoutFallback) {
+  const Graph g = Chain(4);
+  const Partition p = AllZeros(4, 2);
+  EvalResult nan_result = EvalResult::Valid(1.0);
+  nan_result.runtime_s = std::numeric_limits<double>::quiet_NaN();
+  ScriptedModel broken({}, nan_result);
+  ResilientCostModel resilient(&broken, nullptr, InstantRetries(1));
+
+  const EvalResult result = resilient.Evaluate(g, p);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.failure, EvalFailure::kEvaluatorError);
+  EXPECT_TRUE(std::isfinite(result.runtime_s));  // NaN never escapes.
+}
+
+TEST(ResilientCostModelTest, DeterministicRejectionsAreNotRetried) {
+  const Graph g = Chain(4);
+  const Partition p = AllZeros(4, 2);
+  ScriptedModel model({}, EvalResult::Invalid(EvalFailure::kStaticConstraint));
+  ResilientCostModel resilient(&model, nullptr, InstantRetries(4));
+
+  const EvalResult result = resilient.Evaluate(g, p);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.failure, EvalFailure::kStaticConstraint);
+  EXPECT_EQ(model.calls(), 1);
+}
+
+TEST(ResilientCostModelTest, DeadlineCutsRetriesShort) {
+  const Graph g = Chain(4);
+  const Partition p = AllZeros(4, 2);
+  ScriptedModel broken({}, EvalResult::Invalid(EvalFailure::kTimeout));
+  RetryPolicy policy = InstantRetries(10);
+  policy.initial_backoff_s = 1e-3;
+  policy.deadline_s = 1e-9;  // The first backoff already overshoots.
+  ResilientCostModel resilient(&broken, nullptr, policy);
+
+  const std::int64_t retries_before = CounterValue("faults/retries");
+  const EvalResult result = resilient.Evaluate(g, p);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(broken.calls(), 1);  // No retry fit inside the deadline.
+  EXPECT_EQ(CounterValue("faults/retries") - retries_before, 0);
+}
+
+// ---- Solver budget degradation ----------------------------------------------
+
+TEST(SolverBudgetTest, ExhaustedBudgetDegradesToValidPartition) {
+  const Graph g = Chain(12);
+  CpSolver::Options options;
+  options.propagation_budget = 1;  // Exhausts on the first decision.
+  CpSolver solver(g, 4, options);
+  Rng rng(7);
+
+  const std::int64_t degraded_before = CounterValue("solver/degraded_solves");
+  const SolveResult result = SolveSampleWithRestarts(
+      solver, g, ProbMatrix::Uniform(12, 4), rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(IsStaticallyValid(g, result.partition));
+  EXPECT_EQ(CounterValue("solver/degraded_solves") - degraded_before, 1);
+}
+
+TEST(SolverBudgetTest, UnlimitedBudgetDoesNotDegrade) {
+  const Graph g = Chain(12);
+  CpSolver solver(g, 4);
+  Rng rng(7);
+  const SolveResult result = SolveSampleWithRestarts(
+      solver, g, ProbMatrix::Uniform(12, 4), rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_TRUE(IsStaticallyValid(g, result.partition));
+}
+
+// ---- Checkpoint state round-trip --------------------------------------------
+
+PretrainConfig TinyPretrain() {
+  PretrainConfig config;
+  config.rl = RlConfig::Quick();
+  config.rl.gnn_layers = 2;
+  config.rl.hidden_dim = 16;
+  config.rl.rollouts_per_update = 6;
+  config.rl.epochs = 2;
+  config.rl.minibatches = 2;
+  config.total_samples = 24;
+  config.num_checkpoints = 2;
+  config.validation_zeroshot_samples = 4;
+  config.validation_finetune_samples = 6;
+  config.seed = 11;
+  return config;
+}
+
+Matrix FilledMatrix(int rows, int cols, float start) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.data.size(); ++i) {
+    m.data[i] = start + 0.25f * static_cast<float>(i);
+  }
+  return m;
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  return a.rows == b.rows && a.cols == b.cols &&
+         std::memcmp(a.data.data(), b.data.data(),
+                     a.data.size() * sizeof(float)) == 0;
+}
+
+PretrainState MakeState() {
+  PretrainState state;
+  state.iteration = 3;
+  state.samples_seen = 18;
+  state.next_checkpoint_at = 12;
+  state.task_index = 5;
+  state.rng_state = {0x1111, 0x2222, 0x3333, 0x4444};
+  state.params = {FilledMatrix(3, 4, 0.5f), FilledMatrix(2, 2, -1.0f)};
+  state.adam.step = 9;
+  state.adam.m = {FilledMatrix(3, 4, 0.0f), FilledMatrix(2, 2, 0.125f)};
+  state.adam.v = {FilledMatrix(3, 4, 1.0f), FilledMatrix(2, 2, 2.0f)};
+  Checkpoint emitted;
+  emitted.id = 0;
+  emitted.samples_seen = 12;
+  emitted.params = {FilledMatrix(3, 4, 7.0f)};
+  state.emitted.push_back(std::move(emitted));
+  return state;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  const std::filesystem::path path_;
+};
+
+TEST(PretrainStateTest, RoundTripIsBitIdentical) {
+  const TempDir dir("mcm_faults_test_roundtrip");
+  const PretrainConfig config = TinyPretrain();
+  const PretrainState state = MakeState();
+  SavePretrainState(state, config, dir.str());
+
+  const std::optional<PretrainState> loaded =
+      LoadPretrainState(config, dir.str());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->iteration, state.iteration);
+  EXPECT_EQ(loaded->samples_seen, state.samples_seen);
+  EXPECT_EQ(loaded->next_checkpoint_at, state.next_checkpoint_at);
+  EXPECT_EQ(loaded->task_index, state.task_index);
+  EXPECT_EQ(loaded->rng_state, state.rng_state);
+  ASSERT_EQ(loaded->params.size(), state.params.size());
+  for (std::size_t i = 0; i < state.params.size(); ++i) {
+    EXPECT_TRUE(BitIdentical(loaded->params[i], state.params[i]));
+  }
+  EXPECT_EQ(loaded->adam.step, state.adam.step);
+  ASSERT_EQ(loaded->adam.m.size(), state.adam.m.size());
+  for (std::size_t i = 0; i < state.adam.m.size(); ++i) {
+    EXPECT_TRUE(BitIdentical(loaded->adam.m[i], state.adam.m[i]));
+    EXPECT_TRUE(BitIdentical(loaded->adam.v[i], state.adam.v[i]));
+  }
+  ASSERT_EQ(loaded->emitted.size(), 1u);
+  EXPECT_EQ(loaded->emitted[0].id, 0);
+  EXPECT_EQ(loaded->emitted[0].samples_seen, 12);
+  ASSERT_EQ(loaded->emitted[0].params.size(), 1u);
+  EXPECT_TRUE(
+      BitIdentical(loaded->emitted[0].params[0], state.emitted[0].params[0]));
+}
+
+TEST(PretrainStateTest, MissingFileIsAFreshStart) {
+  const TempDir dir("mcm_faults_test_missing");
+  EXPECT_FALSE(LoadPretrainState(TinyPretrain(), dir.str()).has_value());
+}
+
+TEST(PretrainStateTest, FingerprintMismatchThrows) {
+  const TempDir dir("mcm_faults_test_fingerprint");
+  const PretrainConfig config = TinyPretrain();
+  SavePretrainState(MakeState(), config, dir.str());
+
+  PretrainConfig other = config;
+  other.seed += 1;
+  EXPECT_NE(PretrainConfigFingerprint(config),
+            PretrainConfigFingerprint(other));
+  EXPECT_THROW(LoadPretrainState(other, dir.str()), std::runtime_error);
+}
+
+TEST(PretrainStateTest, TruncatedFileThrows) {
+  const TempDir dir("mcm_faults_test_truncated");
+  const PretrainConfig config = TinyPretrain();
+  SavePretrainState(MakeState(), config, dir.str());
+
+  const std::string path = PretrainStatePath(dir.str());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(LoadPretrainState(config, dir.str()), std::runtime_error);
+}
+
+// ---- Resume bit-identity through the pipeline -------------------------------
+
+std::vector<Graph> SmallGraphs(int count) {
+  std::vector<Graph> graphs;
+  const std::vector<Graph> corpus = MakeCorpus();
+  for (const Graph& g : corpus) {
+    if (g.NumNodes() < 80 && static_cast<int>(graphs.size()) < count) {
+      graphs.push_back(g);
+    }
+  }
+  return graphs;
+}
+
+TEST(PretrainResumeTest, InterruptedRunResumesBitIdentically) {
+  const TempDir dir_full("mcm_faults_test_resume_full");
+  const TempDir dir_cut("mcm_faults_test_resume_cut");
+  const std::vector<Graph> graphs = SmallGraphs(2);
+  ASSERT_GE(graphs.size(), 1u);
+  AnalyticalCostModel model{McmConfig{}};
+
+  PretrainConfig full = TinyPretrain();
+  full.checkpoint_dir = dir_full.str();
+  full.checkpoint_every = 1;
+  const std::vector<Checkpoint> uninterrupted =
+      PretrainPipeline(full, model).Train(graphs);
+
+  PretrainConfig cut = full;
+  cut.checkpoint_dir = dir_cut.str();
+  cut.stop_after_iterations = 2;
+  PretrainPipeline(cut, model).Train(graphs);
+
+  PretrainConfig resumed_config = cut;
+  resumed_config.stop_after_iterations = 0;
+  resumed_config.resume = true;
+  const std::vector<Checkpoint> resumed =
+      PretrainPipeline(resumed_config, model).Train(graphs);
+
+  ASSERT_EQ(resumed.size(), uninterrupted.size());
+  for (std::size_t i = 0; i < uninterrupted.size(); ++i) {
+    EXPECT_EQ(resumed[i].id, uninterrupted[i].id);
+    EXPECT_EQ(resumed[i].samples_seen, uninterrupted[i].samples_seen);
+    ASSERT_EQ(resumed[i].params.size(), uninterrupted[i].params.size());
+    for (std::size_t j = 0; j < uninterrupted[i].params.size(); ++j) {
+      EXPECT_TRUE(
+          BitIdentical(resumed[i].params[j], uninterrupted[i].params[j]));
+    }
+  }
+
+  // The final state files must match byte for byte (the fingerprint covers
+  // the trajectory-shaping config, which is identical across the two runs).
+  const auto read_all = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string state_full = read_all(PretrainStatePath(dir_full.str()));
+  const std::string state_cut = read_all(PretrainStatePath(dir_cut.str()));
+  ASSERT_FALSE(state_full.empty());
+  EXPECT_EQ(state_full, state_cut);
+}
+
+// ---- Env knob clamping ------------------------------------------------------
+
+TEST(EnvClampTest, IntClampsOutOfRangeValues) {
+  ::setenv("X_FAULTS_TEST_INT", "-5", 1);
+  EXPECT_EQ(GetEnvInt("X_FAULTS_TEST_INT", 7, 0, 100), 0);
+  ::setenv("X_FAULTS_TEST_INT", "9999", 1);
+  EXPECT_EQ(GetEnvInt("X_FAULTS_TEST_INT", 7, 0, 100), 100);
+  ::setenv("X_FAULTS_TEST_INT", "42", 1);
+  EXPECT_EQ(GetEnvInt("X_FAULTS_TEST_INT", 7, 0, 100), 42);
+  ::unsetenv("X_FAULTS_TEST_INT");
+  EXPECT_EQ(GetEnvInt("X_FAULTS_TEST_INT", 7, 0, 100), 7);
+}
+
+TEST(EnvClampTest, DoubleClampsOutOfRangeAndNonFiniteValues) {
+  ::setenv("X_FAULTS_TEST_DOUBLE", "-0.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("X_FAULTS_TEST_DOUBLE", 0.5, 0.0, 1.0), 0.0);
+  ::setenv("X_FAULTS_TEST_DOUBLE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("X_FAULTS_TEST_DOUBLE", 0.5, 0.0, 1.0), 1.0);
+  ::setenv("X_FAULTS_TEST_DOUBLE", "nan", 1);
+  const double clamped = GetEnvDouble("X_FAULTS_TEST_DOUBLE", 0.5, 0.0, 1.0);
+  EXPECT_TRUE(clamped >= 0.0 && clamped <= 1.0);
+  ::unsetenv("X_FAULTS_TEST_DOUBLE");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("X_FAULTS_TEST_DOUBLE", 0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -22,6 +22,23 @@
 //     --out FILE       write "node chip" lines of the best partition
 //     --trace-out FILE    write Chrome trace-event JSON (spans)
 //     --metrics-out FILE  write a metrics/run-report JSON
+//   mcmpart pretrain [options]                small-scale pretraining run
+//     --graphs N       training graphs from the corpus   (default 6)
+//     --val-graphs N   validation graphs                 (default 2)
+//     --samples N      total pretraining samples         (default 240)
+//     --checkpoints N  evenly spaced weight snapshots    (default 4)
+//     --chips N        chiplets in the package           (default 8)
+//     --model M        analytical | hwsim (hwsim degrades to the
+//                      analytical model on permanent evaluation failure)
+//     --seed S / --threads N    as for partition
+//     --checkpoint-dir DIR  save resumable state into DIR
+//     --checkpoint-every K  save state every K iterations (default 1
+//                      when a checkpoint dir is set)
+//     --resume         restore DIR's state file before training
+//     --stop-after N   stop after N iterations (deterministic
+//                      interruption; used by the resume walkthrough)
+//     --validate       score checkpoints on the validation graphs
+//     --metrics-out FILE  write a metrics/run-report JSON
 //   All options accept both "--flag value" and "--flag=value".
 //   MCMPART_TRACE=<file> enables tracing for any command.
 #include <cstdio>
@@ -35,6 +52,7 @@
 #include "costmodel/cost_model.h"
 #include "graph/generators.h"
 #include "hwsim/hardware_sim.h"
+#include "pipeline/pretrain.h"
 #include "rl/env.h"
 #include "runtime/thread_pool.h"
 #include "search/search.h"
@@ -54,7 +72,12 @@ int Usage() {
                "       mcmpart partition <in.graph> [--chips N] [--budget B]"
                " [--method random|sa|rl] [--model analytical|hwsim]"
                " [--objective throughput|latency] [--seed S] [--threads N]"
-               " [--eval-cache N] [--out FILE]\n");
+               " [--eval-cache N] [--out FILE]\n"
+               "       mcmpart pretrain [--graphs N] [--val-graphs N]"
+               " [--samples N] [--checkpoints N] [--chips N]"
+               " [--model analytical|hwsim] [--seed S] [--threads N]"
+               " [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]"
+               " [--stop-after N] [--validate] [--metrics-out FILE]\n");
   return 2;
 }
 
@@ -208,6 +231,135 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
   return 0;
 }
 
+int RunPretrain(int argc, char** argv) {
+  int train_graphs = 6;
+  int val_graphs = 2;
+  int samples = 240;
+  int checkpoints = 4;
+  int chips = 8;
+  std::string model_name = "analytical";
+  std::uint64_t seed = 1;
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+  bool resume = false;
+  int stop_after = 0;
+  bool validate = false;
+  std::string trace_path;
+  std::string metrics_path;
+  const std::vector<std::string> args = SplitFlagArgs(argc, argv);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error("missing value for " + arg);
+      }
+      return args[++i];
+    };
+    if (arg == "--graphs") train_graphs = std::stoi(next());
+    else if (arg == "--val-graphs") val_graphs = std::stoi(next());
+    else if (arg == "--samples") samples = std::stoi(next());
+    else if (arg == "--checkpoints") checkpoints = std::stoi(next());
+    else if (arg == "--chips") chips = std::stoi(next());
+    else if (arg == "--model") model_name = next();
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
+    else if (arg == "--checkpoint-dir") checkpoint_dir = next();
+    else if (arg == "--checkpoint-every") checkpoint_every = std::stoi(next());
+    else if (arg == "--resume") resume = true;
+    else if (arg == "--stop-after") stop_after = std::stoi(next());
+    else if (arg == "--validate") validate = true;
+    else if (arg == "--trace-out") trace_path = next();
+    else if (arg == "--metrics-out") metrics_path = next();
+    else throw std::runtime_error("unknown option: " + arg);
+  }
+  if (!trace_path.empty()) telemetry::SetTracePath(trace_path);
+  telemetry::RunReport report("mcmpart_pretrain");
+  report.SetString("model", model_name);
+  report.SetValue("samples", samples);
+  report.SetValue("chips", chips);
+
+  // A small-but-real configuration: the paper's shapes scaled down so smoke
+  // runs (CI's fault-smoke job, the resume walkthrough) finish in seconds.
+  PretrainConfig config;
+  config.rl.num_chips = chips;
+  config.rl.gnn_layers = 2;
+  config.rl.hidden_dim = 16;
+  config.rl.rollouts_per_update = 6;
+  config.rl.epochs = 2;
+  config.rl.minibatches = 2;
+  config.rl.seed = seed + 1;
+  config.total_samples = samples;
+  config.num_checkpoints = checkpoints;
+  config.seed = seed;
+  config.checkpoint_dir = checkpoint_dir;
+  config.checkpoint_every =
+      checkpoint_every > 0 ? checkpoint_every
+                           : (checkpoint_dir.empty() ? 0 : 1);
+  config.resume = resume;
+  config.stop_after_iterations = stop_after;
+
+  // Small corpus graphs keep context construction and rollouts cheap.
+  std::vector<Graph> corpus = MakeCorpus();
+  std::vector<Graph> train, val;
+  for (Graph& graph : corpus) {
+    if (graph.NumNodes() >= 80) continue;
+    if (static_cast<int>(train.size()) < train_graphs) {
+      train.push_back(std::move(graph));
+    } else if (static_cast<int>(val.size()) < val_graphs) {
+      val.push_back(std::move(graph));
+    } else {
+      break;
+    }
+  }
+  if (static_cast<int>(train.size()) < train_graphs || train.empty()) {
+    throw std::runtime_error("not enough small corpus graphs for --graphs");
+  }
+
+  AnalyticalCostModel analytical{McmConfig{}};
+  std::unique_ptr<HardwareSim> hwsim;
+  CostModel* primary = &analytical;
+  CostModel* fallback = nullptr;
+  if (model_name == "hwsim") {
+    hwsim = std::make_unique<HardwareSim>();
+    primary = hwsim.get();
+    fallback = &analytical;  // Graceful degradation target.
+  } else if (model_name != "analytical") {
+    throw std::runtime_error("unknown model: " + model_name);
+  }
+
+  PretrainPipeline pipeline(config, *primary, fallback);
+  std::unique_ptr<telemetry::PhaseTimer> train_timer =
+      std::make_unique<telemetry::PhaseTimer>(report, "train");
+  std::vector<Checkpoint> emitted = pipeline.Train(train);
+  train_timer.reset();
+  const int seen = emitted.empty() ? 0 : emitted.back().samples_seen;
+  std::printf("pretrain (%s): %zu checkpoints, %d samples\n",
+              model_name.c_str(), emitted.size(), seen);
+  report.SetValue("checkpoints_emitted",
+                  static_cast<double>(emitted.size()));
+  report.SetValue("samples_seen", seen);
+
+  if (validate && !emitted.empty() && !val.empty()) {
+    std::unique_ptr<telemetry::PhaseTimer> validate_timer =
+        std::make_unique<telemetry::PhaseTimer>(report, "validate");
+    const int best = pipeline.Validate(emitted, val);
+    validate_timer.reset();
+    const Checkpoint& chosen = emitted[static_cast<std::size_t>(best)];
+    std::printf(
+        "best checkpoint: id %d (zero-shot %.4fx, fine-tune %.4fx)\n",
+        chosen.id, chosen.zeroshot_score, chosen.finetune_score);
+    report.SetValue("best_checkpoint", chosen.id);
+    report.SetValue("best_finetune_score", chosen.finetune_score);
+  }
+  if (!metrics_path.empty() && report.Write(metrics_path)) {
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::printf("writing trace to %s\n", trace_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,6 +401,11 @@ int main(int argc, char** argv) {
       const int result = RunPartition(graph, argc - 3, argv + 3);
       // Flushes the MCMPART_TRACE-configured path (no-op when unset; the
       // --trace-out path was already written inside RunPartition).
+      mcm::telemetry::WriteTraceIfConfigured();
+      return result;
+    }
+    if (command == "pretrain") {
+      const int result = RunPretrain(argc - 2, argv + 2);
       mcm::telemetry::WriteTraceIfConfigured();
       return result;
     }
