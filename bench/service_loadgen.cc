@@ -1,0 +1,314 @@
+// Closed-loop load generator for the partition service (`mcmpart serve`).
+//
+// Opens `--concurrency` connections to the daemon's Unix socket and keeps
+// exactly one request outstanding per connection: every response
+// immediately triggers the next request, so the offered load adapts to the
+// service rate instead of overrunning it (closed-loop).  The workload is a
+// fixed MLP graph with `--unique` distinct seed variants cycled across
+// `--requests` total requests -- with unique < requests the tail re-asks
+// earlier questions and exercises the placement cache.
+//
+// Client-side latency (send to response line) is recorded per request;
+// the run writes BENCH_service.json (p50/p99/mean latency, throughput,
+// ok/rejected/error counts) via the repo's bench-report convention.
+//
+// Admission rejections are retried on the same connection (the request is
+// not lost) up to a global send cap, and counted separately so an
+// overloaded run is visible in the report rather than silently thinner.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "service/protocol.h"
+#include "telemetry/trace.h"
+
+namespace mcm::bench {
+namespace {
+
+struct LoadgenOptions {
+  std::string socket_path;
+  int concurrency = 64;
+  int requests = 512;
+  int unique = 32;  // Distinct request variants; the rest are cache food.
+  std::string mode = "solver";
+  std::string model = "analytical";
+  int chips = 8;
+  int budget = 12;
+};
+
+struct Connection {
+  int fd = -1;
+  std::string read_buffer;
+  double sent_s = 0.0;       // MonotonicSeconds() when the request went out.
+  int work_item = -1;        // Index of the in-flight request, -1 when idle.
+};
+
+int ConnectOrDie(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("loadgen: bad socket path");
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("loadgen: socket() failed");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    close(fd);
+    throw std::runtime_error("loadgen: connect(" + socket_path +
+                             ") failed: " + std::strerror(errno));
+  }
+  return fd;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw std::runtime_error("loadgen: write failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int Run(const LoadgenOptions& options) {
+  // One shared graph; request i is variant (i % unique) by seed, so a run
+  // with unique < requests revisits identical requests and hits the cache.
+  Graph graph = MakeMlp("loadgen", 512, {1024, 1024, 512, 256}, 64);
+  std::ostringstream graph_os;
+  graph.Serialize(graph_os);
+  const std::string graph_text = graph_os.str();
+
+  service::RequestMode mode;
+  if (!service::ParseRequestMode(options.mode, &mode)) {
+    throw std::runtime_error("loadgen: unknown mode: " + options.mode);
+  }
+  std::vector<std::string> request_lines;
+  request_lines.reserve(static_cast<std::size_t>(options.requests));
+  for (int i = 0; i < options.requests; ++i) {
+    service::PartitionRequest request;
+    request.id = "lg" + std::to_string(i);
+    request.mode = mode;
+    request.model = options.model;
+    request.graph_text = graph_text;
+    request.chips = options.chips;
+    request.budget = options.budget;
+    request.seed = static_cast<std::uint64_t>(i % options.unique) + 1;
+    request_lines.push_back(service::EncodeRequest(request) + "\n");
+  }
+
+  const int conns =
+      std::max(1, std::min(options.concurrency, options.requests));
+  std::vector<Connection> connections(static_cast<std::size_t>(conns));
+  for (Connection& conn : connections) {
+    conn.fd = ConnectOrDie(options.socket_path);
+  }
+
+  std::vector<double> latencies_s;
+  latencies_s.reserve(request_lines.size());
+  std::int64_t ok = 0, rejected = 0, errors = 0, cached = 0, dropped = 0;
+  int next_item = 0;
+  int in_flight = 0;
+  // Retry budget: rejected requests are re-sent, but a pathological server
+  // (queue depth 1, one executor) must not spin the bench forever.
+  std::int64_t sends_left =
+      static_cast<std::int64_t>(request_lines.size()) * 8;
+
+  auto issue = [&](Connection& conn, int item) {
+    conn.work_item = item;
+    conn.sent_s = telemetry::MonotonicSeconds();
+    --sends_left;
+    ++in_flight;
+    WriteAll(conn.fd, request_lines[static_cast<std::size_t>(item)]);
+  };
+
+  const double started_s = telemetry::MonotonicSeconds();
+  for (Connection& conn : connections) {
+    if (next_item < options.requests) issue(conn, next_item++);
+  }
+
+  std::vector<pollfd> fds(connections.size());
+  while (in_flight > 0) {
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      fds[i] = pollfd{connections[i].fd,
+                      static_cast<short>(connections[i].work_item >= 0
+                                             ? POLLIN
+                                             : 0),
+                      0};
+    }
+    const int n = poll(fds.data(), fds.size(), /*timeout_ms=*/10000);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw std::runtime_error("loadgen: poll timed out");
+
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      Connection& conn = connections[i];
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char chunk[8192];
+      const ssize_t got = read(conn.fd, chunk, sizeof(chunk));
+      if (got < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+      if (got <= 0) throw std::runtime_error("loadgen: daemon disconnected");
+      conn.read_buffer.append(chunk, static_cast<std::size_t>(got));
+
+      std::size_t start = 0;
+      while (true) {
+        const std::size_t newline = conn.read_buffer.find('\n', start);
+        if (newline == std::string::npos) break;
+        const std::string line =
+            conn.read_buffer.substr(start, newline - start);
+        start = newline + 1;
+
+        service::PartitionResponse response;
+        std::string error;
+        if (!service::ParseResponse(line, &response, &error)) {
+          throw std::runtime_error("loadgen: bad response: " + error);
+        }
+        const int item = conn.work_item;
+        conn.work_item = -1;
+        --in_flight;
+        if (response.ok) {
+          ++ok;
+          if (response.cached) ++cached;
+          latencies_s.push_back(telemetry::MonotonicSeconds() -
+                                conn.sent_s);
+        } else if (response.retry_after_ms > 0) {
+          ++rejected;
+          if (sends_left > 0) {
+            issue(conn, item);  // Retry the same work item.
+            continue;
+          }
+          ++dropped;
+        } else {
+          ++errors;
+        }
+        if (conn.work_item < 0 && next_item < options.requests &&
+            sends_left > 0) {
+          issue(conn, next_item++);
+        }
+      }
+      conn.read_buffer.erase(0, start);
+    }
+  }
+  const double wall_s = telemetry::MonotonicSeconds() - started_s;
+  for (Connection& conn : connections) close(conn.fd);
+
+  std::sort(latencies_s.begin(), latencies_s.end());
+  double sum_s = 0.0;
+  for (const double v : latencies_s) sum_s += v;
+  const double mean_s =
+      latencies_s.empty() ? 0.0
+                          : sum_s / static_cast<double>(latencies_s.size());
+  const double p50_s = Percentile(latencies_s, 0.50);
+  const double p99_s = Percentile(latencies_s, 0.99);
+  const double throughput =
+      wall_s > 0.0 ? static_cast<double>(ok) / wall_s : 0.0;
+
+  std::printf("service loadgen: %d requests, %d connections, mode %s\n",
+              options.requests, conns, options.mode.c_str());
+  std::printf("  ok %lld (cached %lld), rejected %lld, errors %lld, "
+              "dropped %lld\n",
+              static_cast<long long>(ok), static_cast<long long>(cached),
+              static_cast<long long>(rejected),
+              static_cast<long long>(errors),
+              static_cast<long long>(dropped));
+  std::printf("  latency p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n",
+              p50_s * 1e3, p99_s * 1e3, mean_s * 1e3);
+  std::printf("  throughput %.1f req/s over %.2f s\n", throughput, wall_s);
+
+  telemetry::RunReport report = MakeBenchReport("service");
+  report.AddPhaseSeconds("load", wall_s);
+  report.SetString("mode", options.mode);
+  report.SetString("model", options.model);
+  report.SetString("socket", options.socket_path);
+  report.SetValue("requests", static_cast<double>(options.requests));
+  report.SetValue("concurrency", static_cast<double>(conns));
+  report.SetValue("unique", static_cast<double>(options.unique));
+  report.SetValue("ok", static_cast<double>(ok));
+  report.SetValue("cached", static_cast<double>(cached));
+  report.SetValue("rejected", static_cast<double>(rejected));
+  report.SetValue("errors", static_cast<double>(errors));
+  report.SetValue("dropped", static_cast<double>(dropped));
+  report.SetValue("latency_p50_ms", p50_s * 1e3);
+  report.SetValue("latency_p99_ms", p99_s * 1e3);
+  report.SetValue("latency_mean_ms", mean_s * 1e3);
+  report.SetValue("throughput_rps", throughput);
+  WriteBenchReport(report);
+
+  // Partial failure (errors, drops) is a report detail; a run only fails
+  // when nothing completed at all.
+  return ok > 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mcm::bench
+
+int main(int argc, char** argv) {
+  mcm::bench::InitBenchRuntime(argc, argv);
+  mcm::bench::LoadgenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("loadgen: missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--socket") options.socket_path = next();
+      else if (arg == "--concurrency") options.concurrency = std::stoi(next());
+      else if (arg == "--requests") options.requests = std::stoi(next());
+      else if (arg == "--unique") options.unique = std::stoi(next());
+      else if (arg == "--mode") options.mode = next();
+      else if (arg == "--model") options.model = next();
+      else if (arg == "--chips") options.chips = std::stoi(next());
+      else if (arg == "--budget") options.budget = std::stoi(next());
+      else if (arg == "--threads") next();  // Handled by InitBenchRuntime.
+      else {
+        std::fprintf(stderr, "loadgen: unknown flag %s\n", arg.c_str());
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: service_loadgen --socket PATH [--concurrency N] "
+                 "[--requests N] [--unique N] [--mode "
+                 "zeroshot|finetune|search|solver] [--model analytical|hwsim] "
+                 "[--chips N] [--budget N]\n");
+    return 2;
+  }
+  options.concurrency = std::max(1, options.concurrency);
+  options.requests = std::max(1, options.requests);
+  options.unique = std::max(1, std::min(options.unique, options.requests));
+  try {
+    return mcm::bench::Run(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}

@@ -27,9 +27,21 @@ Typical invocations:
 import argparse
 import json
 import os
+import shutil
 import sys
 
 REGRESSION_PREFIXES = ("time_ns/", "phase/")
+
+
+RECORDED = [0]
+
+
+def record_baseline(label, cur_path, base_path):
+    """First run of a new bench: adopt the current report as the baseline."""
+    print(f"# {label}: no baseline, recording {cur_path} -> {base_path}")
+    os.makedirs(os.path.dirname(base_path) or ".", exist_ok=True)
+    shutil.copyfile(cur_path, base_path)
+    RECORDED[0] += 1
 
 
 def load_report(path):
@@ -47,6 +59,9 @@ def load_report(path):
 
 def pair_files(baseline, current):
     """Yields (label, baseline_path, current_path) pairs."""
+    if os.path.isfile(current) and not os.path.exists(baseline):
+        record_baseline(os.path.basename(current), current, baseline)
+        return
     if os.path.isdir(baseline) != os.path.isdir(current):
         sys.exit("error: BASELINE and CURRENT must both be files or both "
                  "be directories")
@@ -62,7 +77,8 @@ def pair_files(baseline, current):
     for name in sorted(base_files - cur_files):
         print(f"# {name}: present in baseline only, skipped")
     for name in sorted(cur_files - base_files):
-        print(f"# {name}: present in current only, skipped")
+        record_baseline(name, os.path.join(current, name),
+                        os.path.join(baseline, name))
 
 
 def is_timing(key):
@@ -111,8 +127,10 @@ def main():
         all_regressions += compare(label, load_report(base_path),
                                    load_report(cur_path), args.threshold)
         compared += 1
-    if compared == 0:
+    if compared == 0 and RECORDED[0] == 0:
         sys.exit("error: no comparable BENCH_*.json pairs found")
+    if compared == 0:
+        return  # Everything was freshly recorded; nothing to diff yet.
 
     if all_regressions:
         print(f"\n{len(all_regressions)} timing metric(s) regressed more "

@@ -315,4 +315,10 @@ Checkpoint PretrainPipeline::LoadCheckpointFile(const RlConfig& config,
   return checkpoint;
 }
 
+void PretrainPipeline::WarmStartFromFile(PolicyNetwork& policy,
+                                         const std::string& path) {
+  const Checkpoint checkpoint = LoadCheckpointFile(policy.config(), path);
+  Restore(policy, checkpoint);
+}
+
 }  // namespace mcm

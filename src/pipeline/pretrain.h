@@ -119,6 +119,14 @@ class PretrainPipeline {
   PolicyNetwork& policy() { return policy_; }
   const PretrainConfig& config() const { return config_; }
 
+  // Serving/deployment convenience: loads a checkpoint file written by
+  // SaveCheckpointFile and warm-starts `policy` from it, validating the
+  // payload against the policy's configuration (shape mismatches, corrupt
+  // or truncated files throw std::runtime_error).  The partition service
+  // uses this to boot its zero-shot/fine-tune policy.
+  static void WarmStartFromFile(PolicyNetwork& policy,
+                                const std::string& path);
+
  private:
   PretrainConfig config_;
   CostModel* reward_model_;

@@ -15,7 +15,8 @@ SolveResult RepairPartition(CpSolver& solver, const Graph& graph,
 
 BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
                                         CpSolver& solver, Rng& rng,
-                                        CostModel* fallback) {
+                                        CostModel* fallback,
+                                        const RetryPolicy* retry_policy) {
   const Partition greedy =
       GreedyContiguousByCount(graph, solver.num_chips());
   BaselineResult result;
@@ -39,18 +40,22 @@ BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
   }
   // The baseline anchors every reward in a run, so it deserves the same
   // retry/degradation protection as rollout evaluations.
-  ResilientCostModel resilient(&model, fallback, RetryPolicy::FromEnv());
+  ResilientCostModel resilient(
+      &model, fallback,
+      retry_policy != nullptr ? *retry_policy : RetryPolicy::FromEnv());
   result.eval = resilient.Evaluate(graph, result.partition);
   return result;
 }
 
 PartitionEnv::PartitionEnv(const Graph& graph, CostModel& model,
                            double baseline_runtime_s, Objective objective,
-                           int eval_cache_capacity, CostModel* fallback_model)
+                           int eval_cache_capacity, CostModel* fallback_model,
+                           const RetryPolicy* retry_policy)
     : graph_(&graph),
       model_(&model),
-      resilient_(std::make_shared<ResilientCostModel>(&model, fallback_model,
-                                                      RetryPolicy::FromEnv())),
+      resilient_(std::make_shared<ResilientCostModel>(
+          &model, fallback_model,
+          retry_policy != nullptr ? *retry_policy : RetryPolicy::FromEnv())),
       baseline_runtime_s_(baseline_runtime_s),
       objective_(objective) {
   const int capacity = eval_cache_capacity < 0 ? DefaultEvalCacheCapacity()

@@ -37,9 +37,12 @@ struct BaselineResult {
 // `fallback` (optional, not owned) is the degradation model used when
 // `model` keeps failing transiently; see ResilientCostModel.  The baseline
 // evaluation runs through the same retry/degradation path as rollouts.
+// `retry_policy` (optional) overrides the environment-derived retry/backoff
+// budget -- the partition service wires per-request deadlines through it.
 BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
                                         CpSolver& solver, Rng& rng,
-                                        CostModel* fallback = nullptr);
+                                        CostModel* fallback = nullptr,
+                                        const RetryPolicy* retry_policy = nullptr);
 
 class PartitionEnv {
  public:
@@ -65,11 +68,15 @@ class PartitionEnv {
   // model that never fails transiently (the analytical model, or hwsim
   // without fault injection) this wrapper is a deterministic no-op.
   // `fallback_model` is not owned and must outlive the env and its copies.
+  // `retry_policy` (optional, copied) overrides RetryPolicy::FromEnv() for
+  // the wrapper -- the partition service derives it from each request's
+  // deadline so one slow evaluation cannot eat another request's budget.
   PartitionEnv(const Graph& graph, CostModel& model,
                double baseline_runtime_s,
                Objective objective = Objective::kThroughput,
                int eval_cache_capacity = -1,
-               CostModel* fallback_model = nullptr);
+               CostModel* fallback_model = nullptr,
+               const RetryPolicy* retry_policy = nullptr);
 
   Objective objective() const { return objective_; }
 

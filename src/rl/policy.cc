@@ -44,11 +44,12 @@ std::uint64_t NextGraphContextUid() {
 }
 }  // namespace
 
-GraphContext::GraphContext(const Graph& graph, int num_chips)
+GraphContext::GraphContext(const Graph& graph, int num_chips,
+                           CpSolver::Options solver_options)
     : graph_(&graph),
       uid_(NextGraphContextUid()),
       neighbors_(BuildNeighborLists(graph)),
-      solver_(graph, num_chips) {
+      solver_(graph, num_chips, solver_options) {
   const std::vector<float> raw = ExtractNodeFeatures(graph);
   features_ = Matrix(graph.NumNodes(), kNodeFeatureDim);
   features_.data = raw;

@@ -74,7 +74,11 @@ struct RlConfig {
 // neighbor lists, and a solver instance.
 class GraphContext {
  public:
-  GraphContext(const Graph& graph, int num_chips);
+  // `solver_options` tunes the embedded CP solver; the partition service
+  // uses it to derive a deterministic propagation budget from per-request
+  // deadlines (service/handler.cc).
+  GraphContext(const Graph& graph, int num_chips,
+               CpSolver::Options solver_options = {});
 
   const Graph& graph() const { return *graph_; }
   const Matrix& features() const { return features_; }

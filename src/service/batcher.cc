@@ -1,0 +1,110 @@
+#include "service/batcher.h"
+
+#include <unordered_map>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace mcm::service {
+namespace {
+
+constexpr double kBatchSizeBounds[] = {1, 2, 4, 8, 16, 32, 64};
+
+}  // namespace
+
+bool CoalescableMode(RequestMode mode) {
+  return mode == RequestMode::kZeroShot || mode == RequestMode::kSolver;
+}
+
+std::string BatchCompatibilityKey(const PartitionRequest& request) {
+  std::string key = RequestModeName(request.mode);
+  key += '|';
+  key += request.model;
+  key += '|';
+  key += request.objective;
+  key += '|';
+  key += std::to_string(request.chips);
+  return key;
+}
+
+std::vector<std::vector<QueuedRequest>> FormBatches(
+    std::vector<QueuedRequest> items, std::size_t max_batch) {
+  if (max_batch == 0) max_batch = 1;
+  std::vector<std::vector<QueuedRequest>> batches;
+  std::string open_key;  // Compatibility key of the batch being grown.
+  for (QueuedRequest& item : items) {
+    const bool coalescable = CoalescableMode(item.request.mode);
+    const std::string key =
+        coalescable ? BatchCompatibilityKey(item.request) : std::string();
+    const bool extend = coalescable && !batches.empty() && !open_key.empty() &&
+                        key == open_key && batches.back().size() < max_batch;
+    if (extend) {
+      batches.back().push_back(std::move(item));
+    } else {
+      batches.emplace_back();
+      batches.back().push_back(std::move(item));
+      open_key = key;  // Empty for non-coalescable singletons.
+    }
+  }
+  return batches;
+}
+
+MicroBatcher::MicroBatcher(ThreadPool& pool, PlacementCache* cache,
+                           const ServingPolicy* warm_start)
+    : pool_(&pool), cache_(cache), warm_start_(warm_start) {}
+
+std::vector<PartitionResponse> MicroBatcher::ExecuteBatch(
+    const std::vector<QueuedRequest>& batch) {
+  static telemetry::Counter& batches =
+      telemetry::Counter::Get("service/batches");
+  static telemetry::Histogram& batch_sizes =
+      telemetry::Histogram::Get("service/batch_size", kBatchSizeBounds);
+  MCM_TRACE_SPAN("service/batch");
+  batches.Add();
+  batch_sizes.Observe(static_cast<double>(batch.size()));
+
+  std::vector<PartitionResponse> responses(batch.size());
+  // Index of the unique execution each batch slot resolves to, or -1 when
+  // the slot was answered from the cache.
+  std::vector<std::int64_t> resolve(batch.size(), -1);
+  std::vector<std::size_t> unique;  // Batch indices that actually execute.
+  std::unordered_map<std::string, std::size_t> first_seen;
+  std::vector<std::string> keys(batch.size());
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PartitionRequest& request = batch[i].request;
+    keys[i] = RequestCacheKey(request);
+    if (cache_ != nullptr &&
+        cache_->Lookup(keys[i], request.id, &responses[i])) {
+      continue;  // Served from cache; resolve[i] stays -1.
+    }
+    const auto [it, inserted] = first_seen.emplace(keys[i], unique.size());
+    if (inserted) unique.push_back(i);
+    resolve[i] = static_cast<std::int64_t>(it->second);
+  }
+
+  std::vector<PartitionResponse> executed(unique.size());
+  if (!unique.empty()) {
+    pool_->ParallelFor(0, static_cast<std::int64_t>(unique.size()),
+                       [&](std::int64_t u) {
+                         const std::size_t i =
+                             unique[static_cast<std::size_t>(u)];
+                         executed[static_cast<std::size_t>(u)] =
+                             ExecutePartitionRequest(batch[i].request,
+                                                     warm_start_);
+                       });
+  }
+
+  // Serial commit in admission order: copy results to duplicates and fill
+  // the cache deterministically.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (resolve[i] < 0) continue;  // Cache hit.
+    responses[i] = executed[static_cast<std::size_t>(resolve[i])];
+    responses[i].id = batch[i].request.id;
+    responses[i].batch_size = static_cast<int>(batch.size());
+    if (cache_ != nullptr) cache_->Insert(keys[i], responses[i]);
+  }
+  return responses;
+}
+
+}  // namespace mcm::service

@@ -1,0 +1,75 @@
+// Micro-batching for the partition service.
+//
+// An executor pops a group of admitted requests (AdmissionQueue::PopBatch)
+// and hands it to ExecuteBatch, which serves it in three steps:
+//
+//   1. Cache probe -- requests whose RequestCacheKey is already in the
+//      placement cache are answered immediately, without touching a graph,
+//      policy, or cost model.
+//   2. Dedup -- among the misses, requests with identical cache keys are
+//      collapsed to one execution; duplicates receive copies of the one
+//      result (re-stamped with their own correlation id).
+//   3. Batched execution -- the unique misses run through
+//      ExecutePartitionRequest concurrently on the runtime pool
+//      (ParallelFor), so the GraphSAGE embedding and policy forward passes
+//      of compatible zero-shot requests overlap on the pool's lanes instead
+//      of queueing behind each other.
+//
+// Determinism: ExecutePartitionRequest is a pure function of the request,
+// so execution order and batch composition cannot change any response bit
+// (only `batch_size`, which is diagnostic and excluded from bit-identity
+// and cache equality -- the cache stores it normalized).  Cache fills
+// happen serially in admission order after the parallel section.
+//
+// FormBatches groups a drained queue into micro-batches: compatible
+// zero-shot/solver requests (same shape key) coalesce up to `max_batch`;
+// heavier modes (search, fine-tune) stay singletons so one long request
+// cannot delay a batch of cheap ones. Admission order is preserved within
+// and across batches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "service/admission.h"
+#include "service/handler.h"
+#include "service/placement_cache.h"
+#include "service/protocol.h"
+
+namespace mcm::service {
+
+// True for modes cheap enough to coalesce (zeroshot, solver): their cost is
+// dominated by forward passes / a single solve, so batching them wins.
+bool CoalescableMode(RequestMode mode);
+
+// Shape key for coalescing: requests with equal keys may share a
+// micro-batch.  Batches are *not* required to be shape-uniform for
+// correctness (each request is executed independently); the key just keeps
+// batches homogeneous so their per-item cost is similar.
+std::string BatchCompatibilityKey(const PartitionRequest& request);
+
+// Splits `items` (admission order) into micro-batches of at most
+// `max_batch`, coalescing runs of compatible requests.
+std::vector<std::vector<QueuedRequest>> FormBatches(
+    std::vector<QueuedRequest> items, std::size_t max_batch);
+
+class MicroBatcher {
+ public:
+  // `cache` may be null (caching disabled); `warm_start` may be null (no
+  // serving checkpoint).  Neither is owned; both must outlive the batcher.
+  MicroBatcher(ThreadPool& pool, PlacementCache* cache,
+               const ServingPolicy* warm_start);
+
+  // Serves one batch; responses are aligned index-for-index with `batch`.
+  std::vector<PartitionResponse> ExecuteBatch(
+      const std::vector<QueuedRequest>& batch);
+
+ private:
+  ThreadPool* pool_;
+  PlacementCache* cache_;
+  const ServingPolicy* warm_start_;
+};
+
+}  // namespace mcm::service

@@ -284,6 +284,18 @@ void RegisterStandardMetrics() {
       "runtime/tasks_submitted",
       "search/random_samples",
       "search/sa_proposals",
+      "service/admitted",
+      "service/batches",
+      "service/cache_evictions",
+      "service/cache_hits",
+      "service/cache_misses",
+      "service/completed",
+      "service/connections",
+      "service/drained",
+      "service/executed",
+      "service/protocol_errors",
+      "service/rejected",
+      "service/requests",
       "solver/backtracks",
       "solver/degraded_solves",
       "solver/fix_already_feasible",

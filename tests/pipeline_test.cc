@@ -1,9 +1,15 @@
 // Tests for the pre-training pipeline (training worker, validation worker,
-// checkpoint restore).
+// checkpoint restore) and checkpoint-file corruption handling.
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "costmodel/cost_model.h"
 #include "graph/generators.h"
+#include "pipeline/checkpoint.h"
 #include "pipeline/pretrain.h"
 
 namespace mcm {
@@ -104,6 +110,162 @@ TEST(PretrainPipelineTest, ValidatePicksACheckpoint) {
   ASSERT_LT(best, static_cast<int>(checkpoints.size()));
   EXPECT_TRUE(checkpoints[static_cast<std::size_t>(best)].validated);
   EXPECT_GE(checkpoints[static_cast<std::size_t>(best)].finetune_score, 0.0);
+}
+
+// ---- Checkpoint-file corruption ---------------------------------------------
+//
+// The binary pretrain-state format (pipeline/checkpoint.cc) and the text
+// policy-checkpoint format (SaveCheckpointFile) must both reject damaged
+// files loudly: a truncated, bit-rotted, or wrong-version file throws
+// instead of yielding a silently partial state.
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+  std::filesystem::path path() const { return path_; }
+
+ private:
+  const std::filesystem::path path_;
+};
+
+PretrainState SmallState(const PretrainConfig& config) {
+  // Route real policy parameters through the state so shapes are plausible.
+  PolicyNetwork policy(config.rl);
+  PretrainState state;
+  state.iteration = 2;
+  state.samples_seen = 12;
+  state.next_checkpoint_at = 24;
+  state.params = SnapshotParams(policy.Params());
+  return state;
+}
+
+// Overwrites `count` bytes at `offset` with `byte`, XOR-flipped so the
+// patch always differs from the original content.
+void CorruptFile(const std::string& path, std::uint64_t offset, int count,
+                 char flip) {
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  for (int i = 0; i < count; ++i) {
+    file.seekg(static_cast<std::streamoff>(offset) + i);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ flip);
+    file.seekp(static_cast<std::streamoff>(offset) + i);
+    file.write(&byte, 1);
+  }
+}
+
+// State-file header layout: magic[8], version u32, fingerprint u64,
+// checksum u64, payload (checkpoint.h).
+constexpr std::uint64_t kVersionOffset = 8;
+constexpr std::uint64_t kPayloadOffset = 28;
+
+TEST(CheckpointCorruptionTest, StateFileBadMagicThrows) {
+  const TempDir dir("mcm_pipeline_test_bad_magic");
+  const PretrainConfig config = TinyPretrain();
+  SavePretrainState(SmallState(config), config, dir.str());
+  CorruptFile(PretrainStatePath(dir.str()), 0, 1, 0x7f);
+  EXPECT_THROW(LoadPretrainState(config, dir.str()), std::runtime_error);
+}
+
+TEST(CheckpointCorruptionTest, StateFileWrongVersionThrows) {
+  const TempDir dir("mcm_pipeline_test_bad_version");
+  const PretrainConfig config = TinyPretrain();
+  SavePretrainState(SmallState(config), config, dir.str());
+  CorruptFile(PretrainStatePath(dir.str()), kVersionOffset, 1, 0x10);
+  EXPECT_THROW(LoadPretrainState(config, dir.str()), std::runtime_error);
+}
+
+TEST(CheckpointCorruptionTest, StateFileBadChecksumThrows) {
+  const TempDir dir("mcm_pipeline_test_bad_checksum");
+  const PretrainConfig config = TinyPretrain();
+  SavePretrainState(SmallState(config), config, dir.str());
+  // Flip one payload byte: the stored checksum no longer matches.
+  CorruptFile(PretrainStatePath(dir.str()), kPayloadOffset + 3, 1, 0x01);
+  EXPECT_THROW(LoadPretrainState(config, dir.str()), std::runtime_error);
+}
+
+TEST(CheckpointCorruptionTest, StateFileTruncatedToHeaderThrows) {
+  const TempDir dir("mcm_pipeline_test_header_only");
+  const PretrainConfig config = TinyPretrain();
+  SavePretrainState(SmallState(config), config, dir.str());
+  // Cut inside the header itself (stricter than the payload truncation
+  // covered in faults_test.cc).
+  std::filesystem::resize_file(PretrainStatePath(dir.str()),
+                               kVersionOffset + 2);
+  EXPECT_THROW(LoadPretrainState(config, dir.str()), std::runtime_error);
+}
+
+TEST(CheckpointCorruptionTest, PolicyFileRoundTripAndWarmStart) {
+  const TempDir dir("mcm_pipeline_test_policy_file");
+  const PretrainConfig config = TinyPretrain();
+  PolicyNetwork policy(config.rl);
+  Checkpoint checkpoint;
+  checkpoint.id = 7;
+  checkpoint.samples_seen = 42;
+  checkpoint.params = SnapshotParams(policy.Params());
+  const std::string path = (dir.path() / "policy.ckpt").string();
+  PretrainPipeline::SaveCheckpointFile(checkpoint, config.rl, path);
+
+  const Checkpoint loaded =
+      PretrainPipeline::LoadCheckpointFile(config.rl, path);
+  EXPECT_EQ(loaded.id, 7);
+  EXPECT_EQ(loaded.samples_seen, 42);
+
+  PolicyNetwork restored(config.rl);
+  PretrainPipeline::WarmStartFromFile(restored, path);
+  const std::vector<Matrix> params = SnapshotParams(restored.Params());
+  ASSERT_EQ(params.size(), checkpoint.params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i].data, checkpoint.params[i].data);
+  }
+}
+
+TEST(CheckpointCorruptionTest, PolicyFileBadHeaderThrows) {
+  const TempDir dir("mcm_pipeline_test_policy_header");
+  const PretrainConfig config = TinyPretrain();
+  const std::string path = (dir.path() / "policy.ckpt").string();
+  {
+    std::ofstream out(path);
+    out << "not-a-checkpoint 0 0\n";
+  }
+  EXPECT_THROW(PretrainPipeline::LoadCheckpointFile(config.rl, path),
+               std::runtime_error);
+}
+
+TEST(CheckpointCorruptionTest, PolicyFileTruncatedThrows) {
+  const TempDir dir("mcm_pipeline_test_policy_truncated");
+  const PretrainConfig config = TinyPretrain();
+  PolicyNetwork policy(config.rl);
+  Checkpoint checkpoint;
+  checkpoint.params = SnapshotParams(policy.Params());
+  const std::string path = (dir.path() / "policy.ckpt").string();
+  PretrainPipeline::SaveCheckpointFile(checkpoint, config.rl, path);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 3);
+  EXPECT_THROW(PretrainPipeline::LoadCheckpointFile(config.rl, path),
+               std::runtime_error);
+}
+
+TEST(CheckpointCorruptionTest, PolicyFileWrongShapeThrows) {
+  const TempDir dir("mcm_pipeline_test_policy_shape");
+  const PretrainConfig config = TinyPretrain();
+  PolicyNetwork policy(config.rl);
+  Checkpoint checkpoint;
+  checkpoint.params = SnapshotParams(policy.Params());
+  const std::string path = (dir.path() / "policy.ckpt").string();
+  PretrainPipeline::SaveCheckpointFile(checkpoint, config.rl, path);
+  RlConfig other = config.rl;
+  other.hidden_dim *= 2;  // Loading under a different shape must fail.
+  EXPECT_THROW(PretrainPipeline::LoadCheckpointFile(other, path),
+               std::runtime_error);
 }
 
 }  // namespace
