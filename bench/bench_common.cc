@@ -7,6 +7,7 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "costmodel/delta_eval.h"
 #include "graph/generators.h"
 #include "hwsim/hardware_sim.h"
 #include "partition/heuristics.h"
@@ -126,12 +127,17 @@ void InitBenchRuntime(int argc, char** argv) {
     } else if (std::string(argv[i]) == "--eval-cache" && i + 1 < argc) {
       SetDefaultEvalCacheCapacity(std::stoi(argv[i + 1]));
       ++i;
+    } else if (std::string(argv[i]) == "--delta-eval" && i + 1 < argc) {
+      SetDefaultDeltaEvalEnabled(std::stoi(argv[i + 1]));
+      ++i;
     }
   }
   std::printf("# runtime: %d worker threads (override with --threads N or "
               "MCMPART_THREADS), eval cache %d entries (--eval-cache N or "
-              "MCMPART_EVAL_CACHE; 0 disables)\n",
-              DefaultThreadCount(), DefaultEvalCacheCapacity());
+              "MCMPART_EVAL_CACHE; 0 disables), delta eval %s (--delta-eval "
+              "0|1 or MCMPART_DELTA_EVAL)\n",
+              DefaultThreadCount(), DefaultEvalCacheCapacity(),
+              DefaultDeltaEvalEnabled() ? "on" : "off");
 }
 
 telemetry::RunReport MakeBenchReport(std::string_view name) {

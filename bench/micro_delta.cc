@@ -1,0 +1,312 @@
+// Microbenchmarks and acceptance gates for the incremental (delta)
+// partition evaluator (costmodel/delta_eval.h).
+//
+// Beyond the usual google-benchmark timings this binary measures two gate
+// metrics directly (stopwatch over fixed candidate sets, so they are ratios
+// of comparable work on the same machine) and records them under "gate/" in
+// BENCH_micro_delta.json, where scripts/bench_compare.py --gate trips on
+// regressions:
+//
+//   gate/delta_over_full_ratio     delta single-move re-score time over a
+//                                  full Evaluate on BERT at 36 chips
+//                                  (acceptance: <= 0.2, i.e. >= 5x faster)
+//   gate/sa_delta_over_full_ratio  SA sweep wall time with --delta-eval 1
+//                                  over the same sweep with 0
+//   gate/hc_delta_over_full_ratio  the HillClimb equivalent
+//
+// Every comparison also asserts bit-identical results between the two
+// paths, so the gate doubles as an end-to-end identity check at full scale.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "micro_common.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/delta_eval.h"
+#include "graph/generators.h"
+#include "search/search.h"
+#include "solver/modes.h"
+#include "telemetry/trace.h"
+
+namespace mcm {
+namespace {
+
+struct Prepared {
+  Graph graph;
+  Partition partition;
+  // Single-node moves off `partition`: statically valid ones and ones the
+  // evaluator must reject, both discovered with the evaluator itself.
+  std::vector<std::pair<int, int>> valid_moves;    // (node, to_chip)
+  std::vector<std::pair<int, int>> invalid_moves;  // (node, to_chip)
+};
+
+constexpr int kChips = 36;
+
+const Prepared& BertCase() {
+  static const auto* prepared = [] {
+    auto* out = new Prepared;
+    out->graph = MakeBert();
+    CpSolver solver(out->graph, kChips);
+    const ProbMatrix probs = ProbMatrix::Uniform(out->graph.NumNodes(), kChips);
+    Rng rng(9);
+    SolveResult solved =
+        SolveSampleWithRestarts(solver, out->graph, probs, rng);
+    MCM_CHECK(solved.success);
+    out->partition = std::move(solved.partition);
+
+    DeltaEvaluator probe(out->graph, McmConfig{});
+    probe.Rebase(out->partition);
+    Rng move_rng(11);
+    for (int attempt = 0;
+         attempt < 500000 &&
+         (out->valid_moves.size() < 64 || out->invalid_moves.size() < 64);
+         ++attempt) {
+      const int node = static_cast<int>(
+          move_rng.UniformInt(static_cast<std::uint64_t>(out->graph.NumNodes())));
+      int chip = static_cast<int>(move_rng.UniformInt(kChips - 1));
+      if (chip >= out->partition.chip(node)) ++chip;
+      probe.Apply(node, chip);
+      const bool valid = probe.StaticallyValid();
+      probe.Undo();
+      auto& bucket = valid ? out->valid_moves : out->invalid_moves;
+      if (bucket.size() < 64) bucket.emplace_back(node, chip);
+    }
+    MCM_CHECK(!out->valid_moves.empty());
+    MCM_CHECK(!out->invalid_moves.empty());
+    return out;
+  }();
+  return *prepared;
+}
+
+void BM_FullEvaluate(benchmark::State& state) {
+  const Prepared& prepared = BertCase();
+  AnalyticalCostModel model{McmConfig{}};
+  Partition candidate = prepared.partition;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto [node, chip] = prepared.valid_moves[i];
+    i = (i + 1) % prepared.valid_moves.size();
+    const int prev = candidate.chip(node);
+    candidate.assignment[static_cast<std::size_t>(node)] = chip;
+    benchmark::DoNotOptimize(
+        model.Evaluate(prepared.graph, candidate).runtime_s);
+    candidate.assignment[static_cast<std::size_t>(node)] = prev;
+  }
+  state.counters["nodes"] = prepared.graph.NumNodes();
+}
+BENCHMARK(BM_FullEvaluate)->Unit(benchmark::kMicrosecond);
+
+void BM_DeltaSingleMoveRescore(benchmark::State& state) {
+  const Prepared& prepared = BertCase();
+  DeltaEvaluator evaluator(prepared.graph, McmConfig{});
+  evaluator.Rebase(prepared.partition);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto [node, chip] = prepared.valid_moves[i];
+    i = (i + 1) % prepared.valid_moves.size();
+    evaluator.Apply(node, chip);
+    benchmark::DoNotOptimize(evaluator.Score().runtime_s);
+    evaluator.Undo();
+  }
+  state.counters["nodes"] = prepared.graph.NumNodes();
+}
+BENCHMARK(BM_DeltaSingleMoveRescore)->Unit(benchmark::kMicrosecond);
+
+void BM_DeltaInvalidReject(benchmark::State& state) {
+  const Prepared& prepared = BertCase();
+  DeltaEvaluator evaluator(prepared.graph, McmConfig{});
+  evaluator.Rebase(prepared.partition);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto [node, chip] = prepared.invalid_moves[i];
+    i = (i + 1) % prepared.invalid_moves.size();
+    evaluator.Apply(node, chip);
+    benchmark::DoNotOptimize(evaluator.StaticallyValid());
+    evaluator.Undo();
+  }
+}
+BENCHMARK(BM_DeltaInvalidReject)->Unit(benchmark::kMicrosecond);
+
+void BM_DeltaRebase(benchmark::State& state) {
+  const Prepared& prepared = BertCase();
+  DeltaEvaluator evaluator(prepared.graph, McmConfig{});
+  for (auto _ : state) {
+    evaluator.Rebase(prepared.partition);
+    benchmark::DoNotOptimize(evaluator.StaticallyValid());
+  }
+}
+BENCHMARK(BM_DeltaRebase)->Unit(benchmark::kMicrosecond);
+
+void BM_DeltaScorerSmallDiff(benchmark::State& state) {
+  const Prepared& prepared = BertCase();
+  AnalyticalCostModel model{McmConfig{}};
+  DeltaScorer scorer(&model, &model);
+  Partition candidate = prepared.partition;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto [node, chip] = prepared.valid_moves[i];
+    i = (i + 1) % prepared.valid_moves.size();
+    const int prev = candidate.chip(node);
+    candidate.assignment[static_cast<std::size_t>(node)] = chip;
+    benchmark::DoNotOptimize(
+        scorer.Evaluate(prepared.graph, candidate).runtime_s);
+    candidate.assignment[static_cast<std::size_t>(node)] = prev;
+  }
+}
+BENCHMARK(BM_DeltaScorerSmallDiff)->Unit(benchmark::kMicrosecond);
+
+// --- Gate measurements -----------------------------------------------------
+
+// Times `reps` passes over the valid single-move candidates on both paths,
+// asserting bit-identical scores, and returns delta_time / full_time.
+double MeasureSingleMoveRatio(telemetry::RunReport& report) {
+  const Prepared& prepared = BertCase();
+  AnalyticalCostModel model{McmConfig{}};
+  DeltaEvaluator evaluator(prepared.graph, McmConfig{});
+  evaluator.Rebase(prepared.partition);
+  const int reps = 40;
+
+  // Warm both paths once and check identity per candidate.
+  Partition candidate = prepared.partition;
+  for (const auto& [node, chip] : prepared.valid_moves) {
+    const int prev = candidate.chip(node);
+    candidate.assignment[static_cast<std::size_t>(node)] = chip;
+    const EvalResult full = model.Evaluate(prepared.graph, candidate);
+    evaluator.Apply(node, chip);
+    const EvalResult delta = evaluator.Score();
+    evaluator.Undo();
+    candidate.assignment[static_cast<std::size_t>(node)] = prev;
+    MCM_CHECK(full.valid == delta.valid);
+    MCM_CHECK(full.runtime_s == delta.runtime_s);
+    MCM_CHECK(full.latency_s == delta.latency_s);
+  }
+
+  const double full_start = telemetry::MonotonicSeconds();
+  double sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& [node, chip] : prepared.valid_moves) {
+      const int prev = candidate.chip(node);
+      candidate.assignment[static_cast<std::size_t>(node)] = chip;
+      sink += model.Evaluate(prepared.graph, candidate).runtime_s;
+      candidate.assignment[static_cast<std::size_t>(node)] = prev;
+    }
+  }
+  const double full_s = telemetry::MonotonicSeconds() - full_start;
+
+  const double delta_start = telemetry::MonotonicSeconds();
+  double delta_sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& [node, chip] : prepared.valid_moves) {
+      evaluator.Apply(node, chip);
+      delta_sink += evaluator.Score().runtime_s;
+      evaluator.Undo();
+    }
+  }
+  const double delta_s = telemetry::MonotonicSeconds() - delta_start;
+  MCM_CHECK(sink == delta_sink);
+
+  const double ratio = delta_s / full_s;
+  const double per =
+      static_cast<double>(reps) *
+      static_cast<double>(prepared.valid_moves.size());
+  report.AddPhaseSeconds("gate_full_rescore", full_s);
+  report.AddPhaseSeconds("gate_delta_rescore", delta_s);
+  report.SetValue("gate/delta_over_full_ratio", ratio);
+  std::printf("# gate: single-move re-score on %s (%d nodes, %d chips): "
+              "full %.3f us, delta %.3f us -> %.1fx speedup\n",
+              prepared.graph.name().c_str(), prepared.graph.NumNodes(), kChips,
+              full_s * 1e6 / per, delta_s * 1e6 / per, 1.0 / ratio);
+  return ratio;
+}
+
+// Runs `make_search()` twice on a corpus graph -- delta eval forced on and
+// forced off -- asserting identical traces and incumbents, and records
+// on/off wall times under the given phase/metric names.
+template <typename MakeSearch>
+void MeasureSweepRatio(telemetry::RunReport& report, const Graph& graph,
+                       const char* label, const char* metric,
+                       MakeSearch make_search, int budget) {
+  AnalyticalCostModel model{McmConfig{}};
+  CpSolver baseline_solver(graph, kChips);
+  Rng baseline_rng(7);
+  const BaselineResult baseline = ComputeHeuristicBaseline(
+      graph, model, baseline_solver, baseline_rng);
+  MCM_CHECK(baseline.eval.valid);
+
+  SearchTrace traces[2];
+  double elapsed[2] = {0.0, 0.0};
+  Partition bests[2];
+  double best_rewards[2] = {0.0, 0.0};
+  for (int delta_on = 0; delta_on < 2; ++delta_on) {
+    GraphContext context(graph, kChips);
+    PartitionEnv env(graph, model, baseline.eval.runtime_s,
+                     PartitionEnv::Objective::kThroughput,
+                     /*eval_cache_capacity=*/0, /*fallback_model=*/nullptr,
+                     /*retry_policy=*/nullptr, /*delta_eval=*/delta_on);
+    auto search = make_search();
+    const double start = telemetry::MonotonicSeconds();
+    traces[delta_on] = search->Run(context, env, budget);
+    elapsed[delta_on] = telemetry::MonotonicSeconds() - start;
+    if (env.has_best()) {
+      bests[delta_on] = env.best_partition();
+      best_rewards[delta_on] = env.best_reward();
+    }
+  }
+  MCM_CHECK(traces[0].rewards == traces[1].rewards) << label;
+  MCM_CHECK(best_rewards[0] == best_rewards[1]) << label;
+  MCM_CHECK(bests[0].assignment == bests[1].assignment) << label;
+
+  // Clamp the denominator so a freakishly fast off-run cannot turn the
+  // gate metric into inf/NaN.
+  const double ratio = elapsed[1] / std::max(elapsed[0], 1e-6);
+  report.AddPhaseSeconds(std::string(label) + "_delta_off", elapsed[0]);
+  report.AddPhaseSeconds(std::string(label) + "_delta_on", elapsed[1]);
+  report.SetValue(metric, ratio);
+  std::printf("# gate: %s sweep on %s (budget %d): off %.3f s, on %.3f s "
+              "(identical traces and best partitions)\n",
+              label, graph.name().c_str(), budget, elapsed[0], elapsed[1]);
+}
+
+int RunMicroDelta(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bench::InitBenchRuntime(argc, argv);
+  telemetry::RunReport report = bench::MakeBenchReport("micro_delta");
+  bench::ReportingReporter reporter(report);
+  {
+    telemetry::PhaseTimer timer(report, "benchmarks");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  MeasureSingleMoveRatio(report);
+  // SA anneals the solver's probability distribution, so its per-sample cost
+  // is dominated by SAMPLE solves on small graphs -- the corpus graph keeps
+  // this sweep honest about end-to-end (not just scoring) wall time.
+  static const Graph* corpus_graph = [] {
+    auto* corpus = new std::vector<Graph>(MakeCorpus());
+    return &(*corpus)[30];
+  }();
+  MeasureSweepRatio(report, *corpus_graph, "sa",
+                    "gate/sa_delta_over_full_ratio",
+                    [] { return std::make_unique<SimulatedAnnealing>(Rng(9)); },
+                    /*budget=*/120);
+  // HillClimb re-scores single-node moves, the delta evaluator's home turf:
+  // BERT at 36 chips makes the full-walk cost visible.
+  MeasureSweepRatio(report, BertCase().graph, "hc",
+                    "gate/hc_delta_over_full_ratio",
+                    [] { return std::make_unique<HillClimbSearch>(Rng(9)); },
+                    /*budget=*/4000);
+  bench::WriteBenchReport(report);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mcm
+
+int main(int argc, char** argv) { return mcm::RunMicroDelta(argc, argv); }

@@ -5,13 +5,18 @@ The repo's benches (bench/) write machine-readable run reports named
 BENCH_<name>.json: "values" holds headline numbers (micro benches record
 "time_ns/<benchmark>" entries), "phases" holds per-phase wall seconds.
 This tool prints per-metric deltas between a baseline and a current run and
-exits non-zero when a *timing* metric (time_ns/* or any phase) regresses by
-more than the threshold, so CI can gate on it.  Non-timing values (rewards,
-curve finals, counters) are reported but never gate: they are expected to be
-bit-identical and belong to correctness tests, not perf thresholds.
+exits non-zero when a *timing* metric (time_ns/*, gate/*, or any phase)
+regresses by more than the threshold, so CI can gate on it.  Non-timing
+values (rewards, curve finals, counters) are reported but never gate: they
+are expected to be bit-identical and belong to correctness tests, not perf
+thresholds.  gate/* metrics are machine-robust ratios (e.g. micro_delta's
+delta-over-full re-score time), so they can be gated with a real threshold
+even on noisy shared runners; --gate PCT sets that threshold and forces a
+non-zero exit on regression (it overrides --report-only).
 
 Usage:
   bench_compare.py BASELINE CURRENT [--threshold PCT] [--report-only]
+                   [--gate PCT]
 
 BASELINE and CURRENT are either two BENCH_*.json files or two directories;
 directories are matched by file name (only common names are compared).
@@ -30,7 +35,7 @@ import os
 import shutil
 import sys
 
-REGRESSION_PREFIXES = ("time_ns/", "phase/")
+REGRESSION_PREFIXES = ("time_ns/", "phase/", "gate/")
 
 
 RECORDED = [0]
@@ -119,7 +124,14 @@ def main():
                              "(default: 25)")
     parser.add_argument("--report-only", action="store_true",
                         help="always exit 0 (CI artifact mode)")
+    parser.add_argument("--gate", type=float, default=None, metavar="PCT",
+                        help="gating mode: sets the threshold to PCT and "
+                             "exits non-zero on regression even if "
+                             "--report-only was also given")
     args = parser.parse_args()
+    if args.gate is not None:
+        args.threshold = args.gate
+        args.report_only = False
 
     all_regressions = []
     compared = 0

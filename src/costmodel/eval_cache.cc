@@ -34,10 +34,13 @@ void SetDefaultEvalCacheCapacity(int capacity) {
                            std::memory_order_relaxed);
 }
 
-std::size_t EvalCache::KeyHash::operator()(
-    const std::vector<int>& assignment) const {
-  std::uint64_t hash = 0x51ed270b861f2b4dull;
-  for (const int chip : assignment) {
+std::size_t EvalCache::KeyHash::operator()(const Key& key) const {
+  std::uint64_t hash = HashCombine(0x51ed270b861f2b4dull, key.graph_uid);
+  for (const char ch : key.model_name) {
+    hash = HashCombine(hash, static_cast<std::uint64_t>(
+                                 static_cast<unsigned char>(ch)));
+  }
+  for (const int chip : key.assignment) {
     hash = HashCombine(hash, static_cast<std::uint64_t>(
                                  static_cast<std::uint32_t>(chip)));
   }
@@ -62,9 +65,10 @@ EvalResult EvalCache::Evaluate(const Graph& graph, CostModel& model,
   static telemetry::Counter& eviction_counter =
       telemetry::Counter::Get("costmodel/eval_cache_evictions");
 
+  Key key{graph.uid(), model.name(), partition.assignment};
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = index_.find(partition.assignment);
+    const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -80,9 +84,9 @@ EvalResult EvalCache::Evaluate(const Graph& graph, CostModel& model,
   miss_counter.Add();
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (index_.find(partition.assignment) == index_.end()) {
-    lru_.emplace_front(partition.assignment, result);
-    index_.emplace(partition.assignment, lru_.begin());
+  if (index_.find(key) == index_.end()) {
+    lru_.emplace_front(std::move(key), result);
+    index_.emplace(lru_.front().first, lru_.begin());
     if (index_.size() > capacity_) {
       index_.erase(lru_.back().first);
       lru_.pop_back();

@@ -8,10 +8,12 @@
 // hash -- so their results can be memoized without changing any number a
 // run produces: a hit is bit-identical to a fresh evaluation.
 //
-// Keying: entries are looked up by a hash of the per-node chip assignment
-// (the canonical partition signature), and each entry stores the full
-// assignment vector which is compared on lookup, so hash collisions can
-// never return a wrong result.  Eviction is strict LRU.
+// Keying: entries are looked up by (graph uid, model name, per-node chip
+// assignment) -- the graph uid (see Graph::uid) versions the graph content
+// and the model name separates models, so one cache instance shared across
+// graphs or models can never serve a stale or foreign result.  Each entry
+// stores the full key, which is compared on lookup, so hash collisions can
+// never return a wrong result either.  Eviction is strict LRU.
 //
 // Thread safety: lookups/inserts take an internal mutex; the (expensive)
 // model evaluation on a miss runs outside the lock.  Hit/miss/eviction
@@ -28,6 +30,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -62,17 +65,23 @@ class EvalCache {
   }
 
  private:
+  struct Key {
+    std::uint64_t graph_uid = 0;
+    std::string model_name;
+    std::vector<int> assignment;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
   struct KeyHash {
-    std::size_t operator()(const std::vector<int>& assignment) const;
+    std::size_t operator()(const Key& key) const;
   };
 
-  using Entry = std::pair<std::vector<int>, EvalResult>;
+  using Entry = std::pair<Key, EvalResult>;
   using LruList = std::list<Entry>;  // Front = most recently used.
 
   const std::size_t capacity_;
   mutable std::mutex mu_;
   LruList lru_;
-  std::unordered_map<std::vector<int>, LruList::iterator, KeyHash> index_;
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
   std::atomic<std::int64_t> evictions_{0};

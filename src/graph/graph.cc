@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <ostream>
 #include <queue>
 #include <sstream>
@@ -8,6 +9,12 @@
 #include "common/logging.h"
 
 namespace mcm {
+
+std::uint64_t NextGraphUid() {
+  // Starts at 1 so 0 stays available as "no graph bound" in cache keys.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 std::string_view OpTypeName(OpType op) {
   switch (op) {
@@ -45,6 +52,7 @@ int Graph::AddNode(OpType op, std::string name, double compute_flops,
                         param_bytes});
   succs_.emplace_back();
   preds_.emplace_back();
+  uid_ = NextGraphUid();
   return id;
 }
 
@@ -58,6 +66,7 @@ void Graph::AddEdge(int src, int dst) {
   edges_.push_back(Edge{src, dst});
   succs_[static_cast<size_t>(src)].push_back(dst);
   preds_[static_cast<size_t>(dst)].push_back(src);
+  uid_ = NextGraphUid();
 }
 
 bool Graph::HasEdge(int src, int dst) const {

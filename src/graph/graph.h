@@ -66,6 +66,10 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
+// Process-unique id for graph-content versioning; every call returns a
+// fresh value.  See Graph::uid().
+std::uint64_t NextGraphUid();
+
 // A DAG of operations.  Node ids are dense [0, NumNodes()).  Construction is
 // append-only (AddNode/AddEdge); analyses (topological order, depths,
 // validation) are computed on demand.
@@ -76,6 +80,14 @@ class Graph {
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
+
+  // Content-version tag for caches keyed on a graph (eval memo cache,
+  // embedding cache, delta evaluators).  Every mutation entry point
+  // (AddNode, AddEdge, mutable_node) assigns a fresh process-unique value,
+  // so two graphs observed with equal uids have identical evaluation-
+  // relevant content.  Copies keep the uid (their content is identical);
+  // set_name does not bump it (no evaluation depends on the name).
+  std::uint64_t uid() const { return uid_; }
 
   // Appends a node and returns its id.
   int AddNode(OpType op, std::string name, double compute_flops,
@@ -89,7 +101,10 @@ class Graph {
   int NumEdges() const { return static_cast<int>(edges_.size()); }
 
   const Node& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
-  Node& mutable_node(int id) { return nodes_[static_cast<size_t>(id)]; }
+  Node& mutable_node(int id) {
+    uid_ = NextGraphUid();  // The caller may write through the reference.
+    return nodes_[static_cast<size_t>(id)];
+  }
   std::span<const Node> nodes() const { return nodes_; }
   std::span<const Edge> edges() const { return edges_; }
 
@@ -139,6 +154,7 @@ class Graph {
 
  private:
   std::string name_;
+  std::uint64_t uid_ = NextGraphUid();
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<std::vector<int>> succs_;

@@ -50,7 +50,7 @@ BaselineResult ComputeHeuristicBaseline(const Graph& graph, CostModel& model,
 PartitionEnv::PartitionEnv(const Graph& graph, CostModel& model,
                            double baseline_runtime_s, Objective objective,
                            int eval_cache_capacity, CostModel* fallback_model,
-                           const RetryPolicy* retry_policy)
+                           const RetryPolicy* retry_policy, int delta_eval)
     : graph_(&graph),
       model_(&model),
       resilient_(std::make_shared<ResilientCostModel>(
@@ -64,13 +64,31 @@ PartitionEnv::PartitionEnv(const Graph& graph, CostModel& model,
     eval_cache_ =
         std::make_shared<EvalCache>(static_cast<std::size_t>(capacity));
   }
+  const bool delta_on =
+      delta_eval < 0 ? DefaultDeltaEvalEnabled() : delta_eval > 0;
+  if (delta_on && resilient_->AsAnalytical() != nullptr) {
+    delta_pool_ = std::make_shared<DeltaScorerPool>(
+        resilient_.get(), resilient_->AsAnalytical());
+  }
 }
 
 double PartitionEnv::Score(const Partition& partition,
                            EvalResult* eval) const {
-  *eval = eval_cache_ != nullptr
-              ? eval_cache_->Evaluate(*graph_, *resilient_, partition)
-              : resilient_->Evaluate(*graph_, partition);
+  if (delta_pool_ != nullptr) {
+    // Lease one incremental scorer for this evaluation: per-lease state
+    // keeps Score safe to call concurrently, and the scorer's results are
+    // bit-identical to resilient_->Evaluate on every path.  The scorer
+    // reports the wrapped model's name, so cache entries stay
+    // interchangeable with the non-delta path.
+    auto lease = delta_pool_->Acquire();
+    *eval = eval_cache_ != nullptr
+                ? eval_cache_->Evaluate(*graph_, lease.scorer(), partition)
+                : lease.scorer().Evaluate(*graph_, partition);
+  } else {
+    *eval = eval_cache_ != nullptr
+                ? eval_cache_->Evaluate(*graph_, *resilient_, partition)
+                : resilient_->Evaluate(*graph_, partition);
+  }
   const double cost = objective_ == Objective::kLatency ? eval->latency_s
                                                         : eval->runtime_s;
   if (!eval->valid || cost <= 0.0) return 0.0;

@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "costmodel/cost_model.h"
+#include "costmodel/delta_eval.h"
 #include "costmodel/eval_cache.h"
 #include "faults/faults.h"
 #include "graph/graph.h"
@@ -71,12 +72,22 @@ class PartitionEnv {
   // `retry_policy` (optional, copied) overrides RetryPolicy::FromEnv() for
   // the wrapper -- the partition service derives it from each request's
   // deadline so one slow evaluation cannot eat another request's budget.
+  //
+  // `delta_eval` selects the incremental scoring path (see
+  // costmodel/delta_eval.h): 0 disables, positive enables, negative (the
+  // default) uses DefaultDeltaEvalEnabled(), i.e. --delta-eval /
+  // MCMPART_DELTA_EVAL.  It engages only when the wrapped model has an
+  // analytical core (AsAnalytical() != nullptr); hwsim and fault-injected
+  // models keep full evaluations.  Either way every score is bit-identical
+  // -- the gate trades wall time only.  Copies of an env share the scorer
+  // pool like the cache.
   PartitionEnv(const Graph& graph, CostModel& model,
                double baseline_runtime_s,
                Objective objective = Objective::kThroughput,
                int eval_cache_capacity = -1,
                CostModel* fallback_model = nullptr,
-               const RetryPolicy* retry_policy = nullptr);
+               const RetryPolicy* retry_policy = nullptr,
+               int delta_eval = -1);
 
   Objective objective() const { return objective_; }
 
@@ -109,6 +120,9 @@ class PartitionEnv {
   // The memo cache, if enabled (for tests/telemetry).
   const EvalCache* eval_cache() const { return eval_cache_.get(); }
 
+  // The delta-scorer pool, if the incremental path is engaged (for tests).
+  const DeltaScorerPool* delta_pool() const { return delta_pool_.get(); }
+
   // The best-scoring valid partition seen by this environment, if any.
   // Search strategies all score through Reward(), so after a run this holds
   // the incumbent the trace's best value refers to.
@@ -123,6 +137,9 @@ class PartitionEnv {
   // the cache (stateless Evaluate, so sharing never changes results).
   std::shared_ptr<ResilientCostModel> resilient_;
   std::shared_ptr<EvalCache> eval_cache_;  // Null when disabled.
+  // Incremental scorers over resilient_'s analytical core; null when the
+  // delta path is gated off or the model has no analytical core.
+  std::shared_ptr<DeltaScorerPool> delta_pool_;
   double baseline_runtime_s_;
   Objective objective_;
   EvalResult last_eval_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "costmodel/delta_eval.h"
 #include "runtime/thread_pool.h"
 #include "solver/modes.h"
 #include "telemetry/metrics.h"
@@ -147,6 +148,68 @@ SearchTrace SimulatedAnnealing::Run(GraphContext& context, PartitionEnv& env,
         rng_.UniformDouble() < std::exp(delta / std::max(temperature, 1e-9))) {
       current = std::move(proposal);
       current_reward = reward;
+    }
+  }
+  return trace;
+}
+
+SearchTrace HillClimbSearch::Run(GraphContext& context, PartitionEnv& env,
+                                 int budget) {
+  MCM_TRACE_SPAN("search/hillclimb");
+  static telemetry::Counter& proposals =
+      telemetry::Counter::Get("search/hillclimb_proposals");
+  proposals.Add(budget);
+  SearchTrace trace;
+  trace.strategy = name();
+  const int n = context.num_nodes();
+  const int c = context.solver().num_chips();
+
+  // Seed the incumbent from the SAMPLE-mode solver under a uniform
+  // distribution, like RandomSearch's draws.
+  const ProbMatrix uniform = ProbMatrix::Uniform(n, c);
+  const SolveResult solved = SolveSampleWithRestarts(
+      context.solver(), context.graph(), uniform, rng_);
+  MCM_CHECK(solved.success) << "solver could not seed a valid partition";
+  double current_reward = env.Reward(solved.partition);
+  trace.rewards.push_back(current_reward);
+  if (c < 2 || n < 1) {
+    // No alternative chip to move a node to: the incumbent is the search.
+    for (int k = 1; k < budget; ++k) trace.rewards.push_back(current_reward);
+    return trace;
+  }
+
+  // The incremental screen; its partition() doubles as the incumbent.
+  DeltaEvaluator filter(context.graph(), McmConfig{});
+  filter.Rebase(solved.partition);
+  for (int k = 1; k < budget; ++k) {
+    // Geometric temperature schedule, as in SimulatedAnnealing.
+    const double progress = static_cast<double>(k) / std::max(budget - 1, 1);
+    const double temperature =
+        options_.initial_temperature *
+        std::pow(options_.final_temperature / options_.initial_temperature,
+                 progress);
+
+    const int node = static_cast<int>(rng_.UniformInt(
+        static_cast<std::uint64_t>(n)));
+    int chip = static_cast<int>(rng_.UniformInt(
+        static_cast<std::uint64_t>(c - 1)));
+    if (chip >= filter.partition().chip(node)) ++chip;
+    filter.Apply(node, chip);
+    if (!filter.StaticallyValid()) {
+      filter.Undo();
+      trace.rewards.push_back(0.0);
+      continue;
+    }
+    const double reward = env.Reward(filter.partition());
+    trace.rewards.push_back(reward);
+
+    const double delta = reward - current_reward;
+    if (delta >= 0.0 ||
+        rng_.UniformDouble() < std::exp(delta / std::max(temperature, 1e-9))) {
+      filter.CommitBase();
+      current_reward = reward;
+    } else {
+      filter.Undo();
     }
   }
   return trace;

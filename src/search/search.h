@@ -89,6 +89,34 @@ class SimulatedAnnealing final : public SearchStrategy {
   Options options_;
 };
 
+// Single-node-move local search in partition space -- the mutation-heavy
+// workload the incremental evaluator (costmodel/delta_eval.h) serves.  Each
+// proposal moves one node to a random other chip; an incremental
+// DeltaEvaluator screens the move for static validity in O(degree(node)),
+// so invalid neighbors never pay a full-graph walk or an evaluation, and
+// valid neighbors go through the environment with Metropolis acceptance on
+// a geometric temperature schedule.  Complements SimulatedAnnealing, which
+// anneals the solver's *probability distribution*; HillClimb anneals the
+// partition itself.
+class HillClimbSearch final : public SearchStrategy {
+ public:
+  struct Options {
+    double initial_temperature = 0.05;
+    double final_temperature = 1e-3;
+  };
+
+  HillClimbSearch(Rng rng, Options options) : rng_(rng), options_(options) {}
+  explicit HillClimbSearch(Rng rng) : HillClimbSearch(rng, Options{}) {}
+
+  SearchTrace Run(GraphContext& context, PartitionEnv& env,
+                  int budget) override;
+  std::string name() const override { return "HillClimb"; }
+
+ private:
+  Rng rng_;
+  Options options_;
+};
+
 // RL with the constraint solver.  Wraps PpoTrainer; when constructed with a
 // pre-trained policy the same class serves fine-tuning, and EvaluateOnly
 // (via `zero_shot`) serves zero-shot deployment.

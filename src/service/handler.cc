@@ -93,8 +93,17 @@ PartitionResponse Execute(const PartitionRequest& request,
                    fallback, &retry_policy);
 
   if (request.mode == RequestMode::kSolver) {
-    // Compiler-pass mode: the solver-repaired greedy heuristic, no search.
-    env.Reward(baseline.partition);
+    // Compiler-pass mode: the solver-repaired greedy heuristic, refined by
+    // greedy single-node-move probing when the request carries a budget.
+    // Improvements land in the env's incumbent, which the response reads.
+    const double base_reward = env.Reward(baseline.partition);
+    if (request.budget > 0) {
+      Rng probe_rng(request.seed + 3);
+      ProbeSingleNodeMoves(
+          graph, baseline.partition, base_reward,
+          [&env](const Partition& p) { return env.Reward(p); },
+          request.budget, probe_rng);
+    }
   } else {
     std::unique_ptr<SearchStrategy> search;
     std::unique_ptr<PolicyNetwork> policy;  // Owns the RL policy when used.
@@ -103,6 +112,8 @@ PartitionResponse Execute(const PartitionRequest& request,
         search = std::make_unique<RandomSearch>(Rng(request.seed + 1));
       } else if (request.method == "sa") {
         search = std::make_unique<SimulatedAnnealing>(Rng(request.seed + 1));
+      } else if (request.method == "hillclimb") {
+        search = std::make_unique<HillClimbSearch>(Rng(request.seed + 1));
       } else {
         return MakeErrorResponse(request.id,
                                  "unknown method: " + request.method);

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "costmodel/delta_eval.h"
 #include "service/batcher.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
@@ -417,6 +418,10 @@ void Server::WriteReport(double started_s) {
   report.SetValue("queue_depth", static_cast<double>(config_.queue_depth));
   report.SetValue("executors", static_cast<double>(config_.executors));
   report.SetValue("max_batch", static_cast<double>(config_.max_batch));
+  // Counters land in the report's metrics snapshot automatically; the
+  // derived fast-path hit rate is mirrored as a headline value so operators
+  // see it next to the eval-cache hit counters.
+  report.SetValue("delta_eval/fast_fraction", DeltaEvalFastFraction());
   report.SetString("socket", config_.socket_path);
   report.Write(config_.report_path);
 }

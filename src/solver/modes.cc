@@ -6,6 +6,7 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "costmodel/delta_eval.h"
 #include "partition/heuristics.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -384,6 +385,53 @@ SolveResult SolveFixWithRestarts(CpSolver& solver, const Graph& graph,
   }
   result.set_domain_calls = total_calls;
   return result;
+}
+
+Partition ProbeSingleNodeMoves(
+    const Graph& graph, const Partition& start, double start_score,
+    const std::function<double(const Partition&)>& score, int budget,
+    Rng& rng, ProbeStats* stats) {
+  MCM_TRACE_SPAN("solver/probe");
+  static telemetry::Counter& probe_proposals =
+      telemetry::Counter::Get("solver/probe_proposals");
+  static telemetry::Counter& probe_accepted =
+      telemetry::Counter::Get("solver/probe_accepted");
+  ProbeStats local;
+  ProbeStats& out = stats != nullptr ? *stats : local;
+  const int n = graph.NumNodes();
+  const int c = start.num_chips;
+  if (budget <= 0 || n < 1 || c < 2 || c > kMaxChips || !start.Complete()) {
+    return start;
+  }
+  // Incremental validity screen; its partition() carries the incumbent.
+  DeltaEvaluator filter(graph, McmConfig{});
+  filter.Rebase(start);
+  double current = start_score;
+  for (int k = 0; k < budget; ++k) {
+    ++out.proposals;
+    probe_proposals.Add();
+    const int node = static_cast<int>(rng.UniformInt(
+        static_cast<std::uint64_t>(n)));
+    int chip = static_cast<int>(rng.UniformInt(
+        static_cast<std::uint64_t>(c - 1)));
+    if (chip >= filter.partition().chip(node)) ++chip;
+    filter.Apply(node, chip);
+    if (!filter.StaticallyValid()) {
+      filter.Undo();
+      continue;
+    }
+    ++out.statically_valid;
+    const double candidate_score = score(filter.partition());
+    if (candidate_score > current) {
+      ++out.accepted;
+      probe_accepted.Add();
+      current = candidate_score;
+      filter.CommitBase();
+    } else {
+      filter.Undo();
+    }
+  }
+  return filter.partition();
 }
 
 }  // namespace mcm

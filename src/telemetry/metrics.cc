@@ -253,6 +253,9 @@ void ResetMetricsForTest() { Registry::Instance().Reset(); }
 
 void RegisterStandardMetrics() {
   static constexpr const char* kCounters[] = {
+      "costmodel/delta_fallback",
+      "costmodel/delta_fast",
+      "costmodel/delta_rebuild",
       "costmodel/eval_cache_evictions",
       "costmodel/eval_cache_hits",
       "costmodel/eval_cache_misses",
@@ -282,6 +285,7 @@ void RegisterStandardMetrics() {
       "runtime/parallel_iterations",
       "runtime/tasks_executed",
       "runtime/tasks_submitted",
+      "search/hillclimb_proposals",
       "search/random_samples",
       "search/sa_proposals",
       "service/admitted",
@@ -301,6 +305,8 @@ void RegisterStandardMetrics() {
       "solver/fix_already_feasible",
       "solver/fix_repaired",
       "solver/fix_solves",
+      "solver/probe_accepted",
+      "solver/probe_proposals",
       "solver/propagations",
       "solver/sample_solves",
       "solver/set_domain_calls",

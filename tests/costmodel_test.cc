@@ -3,13 +3,20 @@
 // analytical-vs-simulated correlation the calibration study relies on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
 #include "common/stats.h"
 #include "costmodel/cost_model.h"
+#include "costmodel/delta_eval.h"
 #include "costmodel/eval_cache.h"
+#include "faults/faults.h"
 #include "graph/generators.h"
 #include "hwsim/hardware_sim.h"
 #include "partition/heuristics.h"
+#include "runtime/thread_pool.h"
 #include "solver/modes.h"
 
 namespace mcm {
@@ -300,6 +307,303 @@ TEST(EvalCacheTest, DefaultCapacityOverride) {
   EXPECT_EQ(DefaultEvalCacheCapacity(), 0);
   SetDefaultEvalCacheCapacity(-1);  // Clears the override (env/base default).
   EXPECT_GE(DefaultEvalCacheCapacity(), 0);
+}
+
+TEST(EvalCacheTest, DifferentGraphsDoNotCollide) {
+  // Same assignment, two different graphs: the second lookup must miss.
+  Graph g1("g1");
+  g1.AddNode(OpType::kMatMul, "a", 1e6, 10.0);
+  Graph g2("g2");
+  g2.AddNode(OpType::kMatMul, "a", 2e6, 20.0);
+  ASSERT_NE(g1.uid(), g2.uid());
+  CountingModel model;
+  EvalCache cache(8);
+  const Partition p = Assign({0}, 4);
+  cache.Evaluate(g1, model, p);
+  cache.Evaluate(g2, model, p);
+  EXPECT_EQ(model.calls, 2);
+  EXPECT_EQ(cache.misses(), 2);
+  cache.Evaluate(g1, model, p);  // Still cached per graph.
+  cache.Evaluate(g2, model, p);
+  EXPECT_EQ(model.calls, 2);
+  EXPECT_EQ(cache.hits(), 2);
+}
+
+TEST(EvalCacheTest, DifferentModelsDoNotCollide) {
+  Graph g("g");
+  g.AddNode(OpType::kMatMul, "a", 1e6, 10.0);
+  AnalyticalCostModel analytical{McmConfig{}};
+  CountingModel counting;
+  EvalCache cache(8);
+  const Partition p = Assign({0}, 4);
+  const EvalResult a = cache.Evaluate(g, analytical, p);
+  // Same graph and assignment under a different model name: a miss, and the
+  // counting model's own result (not the memoized analytical one).
+  const EvalResult c = cache.Evaluate(g, counting, p);
+  EXPECT_EQ(counting.calls, 1);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_NE(a.runtime_s, c.runtime_s);
+}
+
+TEST(EvalCacheTest, GraphMutationInvalidatesEntries) {
+  Graph g("g");
+  g.AddNode(OpType::kMatMul, "a", 1e6, 10.0);
+  CountingModel model;
+  EvalCache cache(8);
+  const Partition p = Assign({0}, 4);
+  cache.Evaluate(g, model, p);
+  // Copies share the uid (identical content), so they hit.
+  const Graph copy = g;
+  cache.Evaluate(copy, model, p);
+  EXPECT_EQ(model.calls, 1);
+  // Mutation bumps the uid: stale entries can no longer be served.
+  g.mutable_node(0).compute_flops *= 2.0;
+  EXPECT_NE(g.uid(), copy.uid());
+  cache.Evaluate(g, model, p);
+  EXPECT_EQ(model.calls, 2);
+}
+
+// ---- Incremental (delta) evaluation -----------------------------------------
+
+// Random layered DAG with forward edges only, plus a complete (not
+// necessarily statically valid) chip assignment to use as a base.
+struct FuzzCase {
+  Graph graph{"fuzz"};
+  Partition base;
+  int num_chips = 0;
+};
+
+FuzzCase MakeFuzzCase(Rng& rng) {
+  FuzzCase out;
+  const int nodes = 20 + static_cast<int>(rng.UniformInt(41));
+  out.num_chips = 3 + static_cast<int>(rng.UniformInt(6));
+  for (int i = 0; i < nodes; ++i) {
+    out.graph.AddNode(OpType::kMatMul, "n",
+                      1e6 * static_cast<double>(1 + rng.UniformInt(100)),
+                      1e3 * static_cast<double>(1 + rng.UniformInt(100)),
+                      1e3 * static_cast<double>(1 + rng.UniformInt(100)));
+    if (i > 0) {
+      // Chain edge keeps the graph connected; extra random forward edges
+      // create fan-in/fan-out so moves touch several chips at once.
+      out.graph.AddEdge(i - 1, i);
+      for (int e = 0; e < 2; ++e) {
+        const int src = static_cast<int>(rng.UniformInt(
+            static_cast<std::uint64_t>(i)));
+        if (src != i - 1) out.graph.AddEdge(src, i);
+      }
+    }
+  }
+  // Contiguous-by-id base: Eq. 2 always holds, Eq. 3/4 sometimes do not,
+  // so the fuzz exercises both valid and invalid Score() paths.
+  out.base.num_chips = out.num_chips;
+  out.base.assignment.resize(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    out.base.assignment[static_cast<std::size_t>(i)] =
+        i * out.num_chips / nodes;
+  }
+  return out;
+}
+
+// Asserts the optimized evaluator, the reference oracle, and a fresh full
+// evaluation agree bit-for-bit on the current assignment.
+void ExpectDeltaAgreement(const FuzzCase& c, const DeltaEvaluator& evaluator,
+                          const DeltaEvaluatorReference& reference) {
+  AnalyticalCostModel model{McmConfig{}};
+  ASSERT_EQ(evaluator.partition().assignment,
+            reference.partition().assignment);
+  const EvalResult full = model.Evaluate(c.graph, evaluator.partition());
+  const EvalResult fast = evaluator.Score();
+  const EvalResult oracle = reference.Score();
+  EXPECT_EQ(evaluator.StaticallyValid(),
+            IsStaticallyValid(c.graph, evaluator.partition()));
+  EXPECT_EQ(evaluator.StaticallyValid(), reference.StaticallyValid());
+  for (const EvalResult& r : {fast, oracle}) {
+    EXPECT_EQ(full.valid, r.valid);
+    EXPECT_EQ(full.failure, r.failure);
+    EXPECT_EQ(full.runtime_s, r.runtime_s);    // Exact, not approximate:
+    EXPECT_EQ(full.latency_s, r.latency_s);    // the bit-identical contract.
+    EXPECT_EQ(full.throughput, r.throughput);
+  }
+}
+
+TEST(DeltaEvalTest, FuzzMatchesFullModelAndReference) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 25; ++trial) {
+    const FuzzCase c = MakeFuzzCase(rng);
+    DeltaEvaluator evaluator(c.graph, McmConfig{});
+    DeltaEvaluatorReference reference(c.graph, McmConfig{});
+    evaluator.Rebase(c.base);
+    reference.Rebase(c.base);
+    ExpectDeltaAgreement(c, evaluator, reference);
+    for (int step = 0; step < 40; ++step) {
+      const bool undo = evaluator.undo_depth() > 0 && rng.UniformInt(4) == 0;
+      if (undo) {
+        evaluator.Undo();
+        reference.Undo();
+      } else {
+        const int node = static_cast<int>(rng.UniformInt(
+            static_cast<std::uint64_t>(c.graph.NumNodes())));
+        const int chip = static_cast<int>(rng.UniformInt(
+            static_cast<std::uint64_t>(c.num_chips)));
+        evaluator.Apply(node, chip);
+        reference.Apply(node, chip);
+      }
+      ExpectDeltaAgreement(c, evaluator, reference);
+    }
+    // Unwinding the whole history must restore the base bit-for-bit.
+    while (evaluator.undo_depth() > 0) {
+      evaluator.Undo();
+      reference.Undo();
+    }
+    EXPECT_EQ(evaluator.partition().assignment, c.base.assignment);
+    ExpectDeltaAgreement(c, evaluator, reference);
+  }
+}
+
+TEST(DeltaEvalTest, ScorerResultsAreThreadCountInvariant) {
+  // Scores a batch of near-base partitions through a DeltaScorerPool at 1
+  // and 4 threads; both must match sequential full evaluations exactly.
+  Rng rng(77);
+  const FuzzCase c = MakeFuzzCase(rng);
+  std::vector<Partition> candidates;
+  for (int k = 0; k < 32; ++k) {
+    Partition p = c.base;
+    const int moves = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int m = 0; m < moves; ++m) {
+      const std::size_t node = rng.UniformInt(
+          static_cast<std::uint64_t>(c.graph.NumNodes()));
+      p.assignment[node] =
+          static_cast<int>(rng.UniformInt(
+              static_cast<std::uint64_t>(c.num_chips)));
+    }
+    candidates.push_back(std::move(p));
+  }
+
+  AnalyticalCostModel model{McmConfig{}};
+  std::vector<EvalResult> expected;
+  for (const Partition& p : candidates) {
+    expected.push_back(model.Evaluate(c.graph, p));
+  }
+
+  for (const int threads : {1, 4}) {
+    DeltaScorerPool pool(&model, model.AsAnalytical());
+    std::vector<EvalResult> got(candidates.size());
+    ThreadPool workers(threads);
+    workers.ParallelFor(0, static_cast<std::int64_t>(candidates.size()),
+                        [&](std::int64_t i) {
+                          auto lease = pool.Acquire();
+                          got[static_cast<std::size_t>(i)] =
+                              lease.scorer().Evaluate(
+                                  c.graph,
+                                  candidates[static_cast<std::size_t>(i)]);
+                        });
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(expected[i].valid, got[i].valid);
+      EXPECT_EQ(expected[i].runtime_s, got[i].runtime_s);
+      EXPECT_EQ(expected[i].latency_s, got[i].latency_s);
+    }
+    EXPECT_GE(pool.scorers_created(), 1);
+    EXPECT_LE(pool.scorers_created(), threads);
+  }
+}
+
+TEST(DeltaEvalTest, ScorerCountsFastAndRebuildPaths) {
+  Graph g("g");
+  for (int i = 0; i < 12; ++i) {
+    g.AddNode(OpType::kMatMul, "n", 1e8, 1e3);
+    if (i > 0) g.AddEdge(i - 1, i);
+  }
+  AnalyticalCostModel model{McmConfig{}};
+  DeltaScorer scorer(&model, model.AsAnalytical());
+
+  Partition base = Assign({0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3}, 4);
+  scorer.Evaluate(g, base);
+  EXPECT_EQ(scorer.rebuilds(), 1);  // First sight of the graph.
+  scorer.Evaluate(g, base);         // Zero-move diff.
+  EXPECT_EQ(scorer.fast_evals(), 1);
+
+  Partition moved = base;
+  moved.assignment[2] = 1;  // Single-node diff.
+  const EvalResult fast = scorer.Evaluate(g, moved);
+  EXPECT_EQ(scorer.fast_evals(), 2);
+  EXPECT_EQ(fast.runtime_s, model.Evaluate(g, moved).runtime_s);
+
+  // A lone far candidate goes to the slow model (a Rebase would only pay
+  // off if later requests stayed near it).
+  Partition far = Assign({1, 1, 1, 2, 2, 2, 3, 3, 3, 3, 3, 3}, 4);
+  const EvalResult far_slow = scorer.Evaluate(g, far);
+  EXPECT_EQ(scorer.fallback_evals(), 1);
+  EXPECT_EQ(scorer.rebuilds(), 1);
+  EXPECT_EQ(far_slow.runtime_s, model.Evaluate(g, far).runtime_s);
+
+  // A second far candidate *near the previous one* signals local search
+  // jumped regions: the scorer re-locks with a Rebase...
+  Partition far_nudged = far;
+  far_nudged.assignment[0] = 0;
+  scorer.Evaluate(g, far_nudged);
+  EXPECT_EQ(scorer.rebuilds(), 2);
+  // ...and serves subsequent neighbors incrementally again.
+  Partition far_neighbor = far_nudged;
+  far_neighbor.assignment[4] = 1;
+  const EvalResult relocked = scorer.Evaluate(g, far_neighbor);
+  EXPECT_EQ(scorer.fast_evals(), 3);
+  EXPECT_EQ(relocked.runtime_s, model.Evaluate(g, far_neighbor).runtime_s);
+
+  Partition incomplete = base;
+  incomplete.assignment[5] = -1;
+  const EvalResult fb = scorer.Evaluate(g, incomplete);
+  EXPECT_EQ(scorer.fallback_evals(), 2);  // Slow path screens it.
+  EXPECT_FALSE(fb.valid);
+}
+
+TEST(DeltaEvalTest, ScorerFallsBackWithoutAnalyticalCore) {
+  Graph g("g");
+  for (int i = 0; i < 6; ++i) {
+    g.AddNode(OpType::kMatMul, "n", 1e9, 1e3, 1e6);
+    if (i > 0) g.AddEdge(i - 1, i);
+  }
+  HardwareSim sim;
+  ASSERT_EQ(sim.AsAnalytical(), nullptr);
+  DeltaScorer scorer(&sim, sim.AsAnalytical());
+  const Partition p = Assign({0, 0, 0, 1, 1, 1}, 2);
+  const EvalResult via_scorer = scorer.Evaluate(g, p);
+  const EvalResult direct = sim.Evaluate(g, p);
+  EXPECT_EQ(scorer.fallback_evals(), 1);
+  EXPECT_EQ(scorer.fast_evals(), 0);
+  EXPECT_EQ(via_scorer.runtime_s, direct.runtime_s);
+}
+
+TEST(DeltaEvalTest, ResilientAnalyticalExposesCore) {
+  AnalyticalCostModel model{McmConfig{}};
+  ResilientCostModel resilient(&model, nullptr, RetryPolicy{});
+  EXPECT_EQ(resilient.AsAnalytical(), model.AsAnalytical());
+  HardwareSim sim;
+  ResilientCostModel resilient_sim(&sim, &model, RetryPolicy{});
+  EXPECT_EQ(resilient_sim.AsAnalytical(), nullptr);
+}
+
+TEST(DeltaEvalTest, FirstChipOverMemoryIsAdvisoryOnly) {
+  Graph g("g");
+  g.AddNode(OpType::kMatMul, "a", 1.0, 1.0, 50e6);
+  g.AddNode(OpType::kMatMul, "b", 1.0, 1.0, 90e6);
+  g.AddEdge(0, 1);
+  DeltaEvaluator evaluator(g, McmConfig{});
+  Partition p = Assign({0, 1}, 2);
+  evaluator.Rebase(p);
+  EXPECT_EQ(evaluator.FirstChipOverMemory(200e6), -1);
+  EXPECT_EQ(evaluator.FirstChipOverMemory(60e6), 1);
+  EXPECT_EQ(evaluator.FirstChipOverMemory(10e6), 0);
+  // Score() never enforces the bound: the analytical model does not either.
+  EXPECT_TRUE(evaluator.Score().valid);
+}
+
+TEST(DeltaEvalTest, DefaultGateOverride) {
+  SetDefaultDeltaEvalEnabled(0);
+  EXPECT_FALSE(DefaultDeltaEvalEnabled());
+  SetDefaultDeltaEvalEnabled(1);
+  EXPECT_TRUE(DefaultDeltaEvalEnabled());
+  SetDefaultDeltaEvalEnabled(-1);  // Clears the override (env/base default).
+  EXPECT_TRUE(DefaultDeltaEvalEnabled());
 }
 
 // ---- Calibration-style property (mini Figure 7) -----------------------------

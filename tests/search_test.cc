@@ -131,6 +131,81 @@ TEST(SearchDeterminismTest, EvalCacheDoesNotChangeResults) {
   EXPECT_GT(cached.eval_cache()->hits() + cached.eval_cache()->misses(), 0);
 }
 
+TEST(SearchDeterminismTest, DeltaEvalDoesNotChangeResults) {
+  // The incremental evaluator is a pure fast path: every trace reward and
+  // the best partition must be bit-identical with delta eval on or off.
+  std::vector<Graph> corpus = MakeCorpus();
+  const Graph& graph = corpus[30];
+  AnalyticalCostModel model{McmConfig{}};
+  GraphContext c1(graph, 36), c2(graph, 36);
+  Rng rng(1);
+  const double baseline =
+      ComputeHeuristicBaseline(graph, model, c1.solver(), rng).eval.runtime_s;
+  PartitionEnv with_delta(graph, model, baseline,
+                          PartitionEnv::Objective::kThroughput,
+                          /*eval_cache_capacity=*/0,
+                          /*fallback_model=*/nullptr,
+                          /*retry_policy=*/nullptr, /*delta_eval=*/1);
+  PartitionEnv without(graph, model, baseline,
+                       PartitionEnv::Objective::kThroughput,
+                       /*eval_cache_capacity=*/0,
+                       /*fallback_model=*/nullptr,
+                       /*retry_policy=*/nullptr, /*delta_eval=*/0);
+  ASSERT_NE(with_delta.delta_pool(), nullptr);
+  EXPECT_EQ(without.delta_pool(), nullptr);
+  SimulatedAnnealing s1{Rng(9)}, s2{Rng(9)};
+  const SearchTrace t1 = s1.Run(c1, with_delta, 60);
+  const SearchTrace t2 = s2.Run(c2, without, 60);
+  EXPECT_EQ(t1.rewards, t2.rewards);
+  ASSERT_TRUE(with_delta.has_best());
+  ASSERT_TRUE(without.has_best());
+  EXPECT_EQ(with_delta.best_reward(), without.best_reward());
+  EXPECT_EQ(with_delta.best_partition().assignment,
+            without.best_partition().assignment);
+}
+
+TEST(HillClimbTest, TracksBudgetAndOnlyValidMovesScore) {
+  Fixture f;
+  HillClimbSearch search{Rng(11)};
+  const SearchTrace trace = search.Run(f.context, f.env, 200);
+  EXPECT_EQ(trace.rewards.size(), 200u);
+  EXPECT_EQ(trace.strategy, "HillClimb");
+  int positive = 0;
+  for (double r : trace.rewards) {
+    EXPECT_GE(r, 0.0);
+    if (r > 0.0) ++positive;
+  }
+  // The solver seed scores, and at least some single-node moves survive the
+  // static-validity screen.
+  EXPECT_GT(positive, 1);
+  ASSERT_TRUE(f.env.has_best());
+  EXPECT_GE(f.env.best_reward(), trace.rewards.front());
+}
+
+TEST(HillClimbTest, DeterministicPerSeedAndDeltaInvariant) {
+  std::vector<Graph> corpus = MakeCorpus();
+  const Graph& graph = corpus[30];
+  AnalyticalCostModel model{McmConfig{}};
+  GraphContext c1(graph, 36), c2(graph, 36);
+  Rng rng(1);
+  const double baseline =
+      ComputeHeuristicBaseline(graph, model, c1.solver(), rng).eval.runtime_s;
+  PartitionEnv e1(graph, model, baseline,
+                  PartitionEnv::Objective::kThroughput,
+                  /*eval_cache_capacity=*/0, /*fallback_model=*/nullptr,
+                  /*retry_policy=*/nullptr, /*delta_eval=*/1);
+  PartitionEnv e2(graph, model, baseline,
+                  PartitionEnv::Objective::kThroughput,
+                  /*eval_cache_capacity=*/0, /*fallback_model=*/nullptr,
+                  /*retry_policy=*/nullptr, /*delta_eval=*/0);
+  HillClimbSearch s1{Rng(13)}, s2{Rng(13)};
+  const SearchTrace t1 = s1.Run(c1, e1, 120);
+  const SearchTrace t2 = s2.Run(c2, e2, 120);
+  EXPECT_EQ(t1.rewards, t2.rewards);
+  ASSERT_TRUE(e1.has_best());
+  EXPECT_EQ(e1.best_partition().assignment, e2.best_partition().assignment);
+}
+
 TEST(NoSolverRlTest, FindsNoValidPartition) {
   // Table 1 / Section 5.1: without the constraint solver the reward space
   // is so sparse that RL never sees a valid sample.

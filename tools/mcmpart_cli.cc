@@ -11,7 +11,8 @@
 //   mcmpart partition <in.graph> [options]    search for a partition
 //     --chips N        chiplets in the package            (default 36)
 //     --budget B       evaluation budget                  (default 200)
-//     --method M       random | sa | rl | zeroshot | solver (default random)
+//     --method M       random | sa | hillclimb | rl | zeroshot | solver
+//                      (default random)
 //     --model M        analytical | hwsim                 (default analytical)
 //     --objective O    throughput | latency               (default throughput)
 //     --seed S         RNG seed                           (default 1)
@@ -28,6 +29,9 @@
 //     --eval-cache N   partition-evaluation memo-cache entries (default:
 //                      MCMPART_EVAL_CACHE env, else 1024; 0 disables);
 //                      results are identical with the cache on or off
+//     --delta-eval 0|1 incremental (delta) partition re-scoring for the
+//                      analytical model (default: MCMPART_DELTA_EVAL env,
+//                      else 1); results are bit-identical on or off
 //     --out FILE       write "node chip" lines of the best partition
 //     --trace-out FILE    write Chrome trace-event JSON (spans)
 //     --metrics-out FILE  write a metrics/run-report JSON
@@ -43,7 +47,9 @@
 //                      pre-trained policy served to zeroshot/finetune
 //                      requests (--chips must match the checkpoint)
 //     --threads N      runtime pool threads, as for partition
+//     --delta-eval 0|1 as for partition
 //     --metrics-out FILE  write a RunReport after the graceful drain
+//                      (includes delta_eval/fast_fraction)
 //     SIGTERM/SIGINT drain gracefully: finish in-flight work, flush, exit 0.
 //   mcmpart request <in.graph> [options]      one request against a daemon
 //     --socket PATH    daemon socket                      (required)
@@ -59,7 +65,7 @@
 //     --chips N        chiplets in the package           (default 8)
 //     --model M        analytical | hwsim (hwsim degrades to the
 //                      analytical model on permanent evaluation failure)
-//     --seed S / --threads N    as for partition
+//     --seed S / --threads N / --delta-eval 0|1    as for partition
 //     --checkpoint-dir DIR  save resumable state into DIR
 //     --checkpoint-every K  save state every K iterations (default 1
 //                      when a checkpoint dir is set)
@@ -85,6 +91,7 @@
 #include <vector>
 
 #include "costmodel/cost_model.h"
+#include "costmodel/delta_eval.h"
 #include "graph/generators.h"
 #include "hwsim/hardware_sim.h"
 #include "pipeline/pretrain.h"
@@ -117,21 +124,23 @@ int Usage() {
                "       mcmpart info <in.graph>\n"
                "       mcmpart dot <in.graph> <out.dot>\n"
                "       mcmpart partition <in.graph> [--chips N] [--budget B]"
-               " [--method random|sa|rl|zeroshot|solver]"
+               " [--method random|sa|hillclimb|rl|zeroshot|solver]"
                " [--model analytical|hwsim]"
                " [--objective throughput|latency] [--seed S] [--deadline-ms D]"
                " [--checkpoint F] [--checkpoint-shape quick|pretrain]"
-               " [--threads N] [--eval-cache N] [--out FILE]\n"
+               " [--threads N] [--eval-cache N] [--delta-eval 0|1]"
+               " [--out FILE]\n"
                "       mcmpart serve --socket PATH [--queue-depth N]"
                " [--cache N] [--executors N] [--max-batch N] [--checkpoint F]"
                " [--checkpoint-shape quick|pretrain] [--chips N] [--threads N]"
-               " [--metrics-out FILE]\n"
+               " [--delta-eval 0|1] [--metrics-out FILE]\n"
                "       mcmpart request <in.graph> --socket PATH [--id ID]"
                " [--method M] [--model M] [--objective O] [--chips N]"
                " [--budget B] [--seed S] [--deadline-ms D] [--out FILE]\n"
                "       mcmpart pretrain [--graphs N] [--val-graphs N]"
                " [--samples N] [--checkpoints N] [--chips N]"
                " [--model analytical|hwsim] [--seed S] [--threads N]"
+               " [--delta-eval 0|1]"
                " [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]"
                " [--stop-after N] [--validate] [--save-best F]"
                " [--metrics-out FILE]\n");
@@ -177,7 +186,9 @@ std::vector<std::string> SplitFlagArgs(int argc, char** argv) {
 // CLI --method spelling -> service request mode.  "rl" is fine-tuning from
 // scratch (or from --checkpoint), matching the historical CLI behavior.
 service::RequestMode ModeForMethod(const std::string& method) {
-  if (method == "random" || method == "sa") return service::RequestMode::kSearch;
+  if (method == "random" || method == "sa" || method == "hillclimb") {
+    return service::RequestMode::kSearch;
+  }
   if (method == "rl") return service::RequestMode::kFinetune;
   if (method == "zeroshot") return service::RequestMode::kZeroShot;
   if (method == "solver") return service::RequestMode::kSolver;
@@ -253,13 +264,15 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
     else if (arg == "--checkpoint-shape") checkpoint_shape = next();
     else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
     else if (arg == "--eval-cache") SetDefaultEvalCacheCapacity(std::stoi(next()));
+    else if (arg == "--delta-eval") SetDefaultDeltaEvalEnabled(std::stoi(next()));
     else if (arg == "--out") out_path = next();
     else if (arg == "--trace-out") trace_path = next();
     else if (arg == "--metrics-out") metrics_path = next();
     else throw UsageError("unknown option: " + arg);
   }
   request.mode = ModeForMethod(method);
-  request.method = method == "sa" ? "sa" : "random";
+  request.method =
+      (method == "sa" || method == "hillclimb") ? method : "random";
   request.graph_text = SerializeGraph(graph);
   if (!trace_path.empty()) telemetry::SetTracePath(trace_path);
   telemetry::RunReport report("mcmpart_partition");
@@ -315,6 +328,7 @@ int RunServe(int argc, char** argv) {
     else if (arg == "--checkpoint") checkpoint_path = next();
     else if (arg == "--checkpoint-shape") checkpoint_shape = next();
     else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
+    else if (arg == "--delta-eval") SetDefaultDeltaEvalEnabled(std::stoi(next()));
     else if (arg == "--metrics-out") config.report_path = next();
     else throw UsageError("unknown option: " + arg);
   }
@@ -364,7 +378,8 @@ int RunRequest(const Graph& graph, int argc, char** argv) {
     throw UsageError("request requires --socket PATH");
   }
   request.mode = ModeForMethod(method);
-  request.method = method == "sa" ? "sa" : "random";
+  request.method =
+      (method == "sa" || method == "hillclimb") ? method : "random";
   request.graph_text = SerializeGraph(graph);
 
   service::ServiceClient client(socket_path);
@@ -411,6 +426,7 @@ int RunPretrain(int argc, char** argv) {
     else if (arg == "--model") model_name = next();
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
+    else if (arg == "--delta-eval") SetDefaultDeltaEvalEnabled(std::stoi(next()));
     else if (arg == "--checkpoint-dir") checkpoint_dir = next();
     else if (arg == "--checkpoint-every") checkpoint_every = std::stoi(next());
     else if (arg == "--resume") resume = true;
@@ -484,6 +500,9 @@ int RunPretrain(int argc, char** argv) {
   report.SetValue("checkpoints_emitted",
                   static_cast<double>(emitted.size()));
   report.SetValue("samples_seen", seen);
+  // Fast-path hit rate of the incremental evaluator; the underlying
+  // costmodel/delta_* counters land in the metrics snapshot automatically.
+  report.SetValue("delta_eval/fast_fraction", DeltaEvalFastFraction());
 
   if (validate && !emitted.empty() && !val.empty()) {
     std::unique_ptr<telemetry::PhaseTimer> validate_timer =
