@@ -50,8 +50,25 @@ def record_baseline(label, cur_path, base_path):
 
 
 def load_report(path):
-    with open(path, "r", encoding="utf-8") as f:
-        report = json.load(f)
+    """Flattens one report; exits with a clear message on malformed input.
+
+    A truncated or hand-mangled baseline would otherwise surface as a bare
+    JSONDecodeError traceback, which CI logs bury; name the file instead so
+    the fix (re-record or revert the baseline) is obvious.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (json.JSONDecodeError, UnicodeDecodeError) as err:
+        sys.exit(f"error: {path} is not valid JSON ({err}); re-record the "
+                 f"baseline or revert the file")
+    if not isinstance(report, dict):
+        sys.exit(f"error: {path} must hold a JSON object "
+                 f"(got {type(report).__name__}); re-record the baseline")
+    for section in ("values", "phases"):
+        if not isinstance(report.get(section, {}), dict):
+            sys.exit(f"error: {path}: \"{section}\" must be an object; "
+                     f"re-record the baseline")
     flat = {}
     for key, value in report.get("values", {}).items():
         if isinstance(value, (int, float)):

@@ -5,8 +5,12 @@
 # pool, ASan+UBSan for memory and undefined-behavior bugs.
 #
 # Usage: scripts/check.sh [--lint-only] [--release-only] [--tsan-only] [--asan-only]
+#                         [--incremental] [--sarif PATH]
 # With no flags every stage runs; flags are combinable and select exactly the
 # named stages (e.g. "--lint-only --asan-only" runs lint then ASan).
+# Lint-stage modifiers: --incremental reuses build/mcmlint.cache so only
+# edited files are re-parsed; --sarif PATH additionally writes the findings
+# as SARIF 2.1.0 for code-scanning upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +18,8 @@ run_lint=0
 run_release=0
 run_tsan=0
 run_asan=0
+lint_flags=()
+expect_sarif_path=0
 if [ "$#" = 0 ]; then
   run_lint=1
   run_release=1
@@ -21,18 +27,29 @@ if [ "$#" = 0 ]; then
   run_asan=1
 fi
 for arg in "$@"; do
+  if [ "${expect_sarif_path}" = 1 ]; then
+    lint_flags+=(--sarif "${arg}")
+    expect_sarif_path=0
+    continue
+  fi
   case "${arg}" in
     --lint-only) run_lint=1 ;;
     --release-only) run_release=1 ;;
     --tsan-only) run_tsan=1 ;;
     --asan-only) run_asan=1 ;;
+    --incremental) lint_flags+=(--incremental) ;;
+    --sarif) expect_sarif_path=1 ;;
     *)
       echo "usage: scripts/check.sh [--lint-only] [--release-only]" \
-           "[--tsan-only] [--asan-only]" >&2
+           "[--tsan-only] [--asan-only] [--incremental] [--sarif PATH]" >&2
       exit 2
       ;;
   esac
 done
+if [ "${expect_sarif_path}" = 1 ]; then
+  echo "error: --sarif requires a PATH argument" >&2
+  exit 2
+fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
@@ -40,7 +57,8 @@ if [ "${run_lint}" = 1 ]; then
   echo "== mcmlint: determinism/concurrency contract =="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j"${jobs}" --target mcmlint
-  ./build/tools/mcmlint/mcmlint --root . --config tools/mcmlint/mcmlint.conf
+  ./build/tools/mcmlint/mcmlint --root . --config tools/mcmlint/mcmlint.conf \
+    --stats "${lint_flags[@]+"${lint_flags[@]}"}"
   ./build/tools/mcmlint/mcmlint --expect-dir tools/mcmlint/testdata
 fi
 

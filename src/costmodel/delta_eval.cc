@@ -88,6 +88,9 @@ void DeltaEvaluator::RemoveCutPair(int a, int b) {
   if (--count == 0) adjacency_[Idx(a)] &= ~(1ULL << b);
 }
 
+// MCM_CONTRACT(deterministic): delta state transitions feed the
+// delta-vs-full oracle identity check; nothing here may depend on clocks,
+// randomness, or hash order.
 void DeltaEvaluator::Apply(int node, int to_chip) {
   MCM_CHECK(bound()) << "Apply before Rebase";
   MCM_CHECK_GE(node, 0);
@@ -99,6 +102,7 @@ void DeltaEvaluator::Apply(int node, int to_chip) {
   if (to_chip != from) MoveNode(node, to_chip);
 }
 
+// MCM_CONTRACT(deterministic)
 void DeltaEvaluator::Undo() {
   MCM_CHECK(!undo_.empty()) << "Undo without a matching Apply";
   const auto [node, prev] = undo_.back();

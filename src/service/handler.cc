@@ -182,6 +182,8 @@ RlConfig CheckpointShapeConfig(const std::string& shape, int num_chips) {
   return config;
 }
 
+// MCM_CONTRACT(deterministic): the serving path's replay guarantee -- the
+// same request against the same policy yields the same placement.
 PartitionResponse ExecutePartitionRequest(const PartitionRequest& request,
                                           const ServingPolicy* warm_start) {
   static telemetry::Counter& executed =

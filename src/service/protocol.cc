@@ -398,6 +398,8 @@ bool ParseRequestMode(const std::string& name, RequestMode* mode) {
   return true;
 }
 
+// MCM_CONTRACT(deterministic): wire encodings must be byte-identical for
+// identical inputs (clients hash them for dedup/caching).
 std::string EncodeRequest(const PartitionRequest& request) {
   JsonValue v = JsonValue::Object();
   auto& o = v.object();
@@ -450,6 +452,8 @@ bool ParseRequest(const std::string& line, PartitionRequest* request,
 
 // ---- Responses -------------------------------------------------------------
 
+// MCM_CONTRACT(deterministic): response bytes for a given outcome are part
+// of the replay contract (integration tests diff whole transcripts).
 std::string EncodeResponse(const PartitionResponse& response) {
   JsonValue v = JsonValue::Object();
   auto& o = v.object();

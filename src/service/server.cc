@@ -33,6 +33,9 @@ constexpr double kLatencyBoundsS[] = {0.001, 0.005, 0.02,  0.05, 0.1,
 std::atomic<bool> g_shutdown_requested{false};
 std::atomic<int> g_signal_wake_fd{-1};
 
+// MCM_CONTRACT(signal-safe): runs in signal context; mcmlint's
+// handler-safety rule proves nothing reachable from here allocates, locks,
+// or blocks.
 void HandleShutdownSignal(int /*signum*/) {
   g_shutdown_requested.store(true, std::memory_order_relaxed);
   const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
@@ -146,6 +149,8 @@ void Server::Shutdown() {
   WakeLoop();
 }
 
+// MCM_CONTRACT(signal-safe): the SIGTERM drain path's wake primitive --
+// one async-signal-safe write(), nothing else.
 void Server::WakeLoop() {
   if (wake_write_fd_ < 0) return;
   const char byte = 1;

@@ -129,7 +129,7 @@ class Server {
   std::unique_ptr<TaskGroup> executors_;
 
   std::mutex outbox_mu_;
-  std::deque<Outcome> outbox_;  // Guarded by outbox_mu_.
+  std::deque<Outcome> outbox_;  // mcmlint: guarded-by(outbox_mu_)
 
   // Event-loop-thread state (never touched by executors).
   std::map<std::int64_t, Connection> connections_;

@@ -33,9 +33,12 @@ void CpSolver::Reset() {
   support_one_pending_ = false;
   fixed_adj_.assign(static_cast<std::size_t>(num_chips_), 0);
   solve_start_propagations_ = stats_.propagations;
+  // The wall-clock deadline is an opt-in escape hatch that no in-tree
+  // caller enables; deterministic callers (the serving path) bound work
+  // with propagation_budget instead, so these clock edges are sanitized.
   solve_deadline_at_s_ =
       options_.deadline_s > 0.0
-          ? telemetry::MonotonicSeconds() + options_.deadline_s
+          ? telemetry::MonotonicSeconds() + options_.deadline_s  // NOLINT(mcm-nondet-reach)
           : 0.0;
 }
 
@@ -46,7 +49,7 @@ bool CpSolver::BudgetExhausted() const {
     return true;
   }
   if (solve_deadline_at_s_ > 0.0 &&
-      telemetry::MonotonicSeconds() > solve_deadline_at_s_) {
+      telemetry::MonotonicSeconds() > solve_deadline_at_s_) {  // NOLINT(mcm-nondet-reach)
     return true;
   }
   return false;

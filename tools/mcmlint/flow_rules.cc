@@ -1,0 +1,302 @@
+#include "flow_rules.h"
+
+#include <deque>
+#include <set>
+
+namespace mcmlint {
+
+namespace {
+
+constexpr const char* kNondetReach = "mcm-nondet-reach";
+constexpr const char* kGuardCheck = "mcm-guard-check";
+constexpr const char* kHandlerSafety = "mcm-handler-safety";
+
+std::string LastComponent(const std::string& name) {
+  const std::size_t pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+std::string TopDir(const std::string& path) {
+  const std::size_t slash = path.find('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// The build has no src -> bench or src -> tools dependency, so a call site
+// outside those trees can never actually invoke a function defined inside
+// them; dropping such edges removes the worst merged-overload false paths
+// (e.g. a search algorithm's Run() dragging in a bench harness's Run()).
+bool EdgePlausible(const std::string& caller_path,
+                   const std::string& callee_path) {
+  const std::string callee_top = TopDir(callee_path);
+  if (callee_top != "bench" && callee_top != "tools") return true;
+  return TopDir(caller_path) == callee_top;
+}
+
+bool Suppresses(const std::set<std::string>& suppress, const char* rule) {
+  return suppress.count("*") > 0 || suppress.count(rule) > 0;
+}
+
+// The whole-tree call graph: one node per function definition, edges
+// resolved by qualified-name suffix (see flow_rules.h).
+class Graph {
+ public:
+  struct Node {
+    const FileIndex* file;
+    const FunctionInfo* fn;
+  };
+  struct Edge {
+    std::size_t target;
+    int line;
+    const std::set<std::string>* suppress;
+  };
+
+  explicit Graph(const std::map<std::string, FileIndex>& files) {
+    for (const auto& [path, fi] : files) {
+      for (const FunctionInfo& fn : fi.functions) {
+        by_last_[LastComponent(fn.name)].push_back(nodes_.size());
+        nodes_.push_back(Node{&fi, &fn});
+      }
+    }
+    out_.resize(nodes_.size());
+    in_.resize(nodes_.size());
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+      for (const CallSite& call : nodes_[id].fn->calls) {
+        const auto it = by_last_.find(LastComponent(call.name));
+        if (it == by_last_.end()) continue;
+        const bool qualified =
+            !call.member && call.name.find("::") != std::string::npos;
+        std::vector<std::size_t> candidates;
+        for (const std::size_t target : it->second) {
+          if (target == id) continue;
+          if (!EdgePlausible(nodes_[id].file->path,
+                             nodes_[target].file->path)) {
+            continue;
+          }
+          if (qualified) {
+            const std::string& defined = nodes_[target].fn->name;
+            const bool suffix =
+                defined == call.name ||
+                (defined.size() > call.name.size() + 2 &&
+                 defined.compare(defined.size() - call.name.size() - 2,
+                                 std::string::npos,
+                                 "::" + call.name) == 0);
+            if (!suffix) continue;
+          }
+          candidates.push_back(target);
+        }
+        // Split merged overload sets by arity: a 3-argument "search->Run"
+        // cannot land on a zero-parameter "Server::Run".  When *no*
+        // candidate is compatible (a definition may omit defaults its
+        // declaration carries), keep every candidate -- losing a true edge
+        // is worse than a spurious one for a contract checker.
+        std::vector<std::size_t> compatible;
+        for (const std::size_t target : candidates) {
+          const FunctionInfo* callee = nodes_[target].fn;
+          if (call.args >= callee->min_args && call.args <= callee->max_args) {
+            compatible.push_back(target);
+          }
+        }
+        for (const std::size_t target :
+             compatible.empty() ? candidates : compatible) {
+          out_[id].push_back(Edge{target, call.line, &call.suppress});
+          in_[target].push_back(id);
+        }
+      }
+    }
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(std::size_t id) const { return nodes_[id]; }
+  const std::vector<Edge>& out(std::size_t id) const { return out_[id]; }
+  const std::vector<std::size_t>& in(std::size_t id) const { return in_[id]; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::map<std::string, std::vector<std::size_t>> by_last_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<std::size_t>> in_;
+};
+
+const char* OpVerb(int kind) {
+  switch (kind) {
+    case Op::kNondet:
+      return "nondeterminism source";
+    case Op::kAlloc:
+      return "allocation";
+    case Op::kLock:
+      return "lock acquisition";
+    default:
+      return "blocking call";
+  }
+}
+
+// BFS from every function carrying `contract`; any reachable op whose kind
+// is in `kinds` (and not NOLINTed for `rule` at its line) is diagnosed at
+// the contract function's signature, with the offending call path spelled
+// out.  Suppressed call edges are simply not traversed.
+void CheckReachability(const Graph& graph, const char* contract,
+                       const char* rule, const std::set<int>& kinds,
+                       std::vector<Diagnostic>* diags) {
+  for (std::size_t root = 0; root < graph.size(); ++root) {
+    const Graph::Node& entry = graph.node(root);
+    if (entry.fn->contracts.count(contract) == 0) continue;
+    if (Suppresses(entry.fn->suppress, rule)) continue;
+
+    std::vector<std::size_t> parent(graph.size(),
+                                    static_cast<std::size_t>(-1));
+    std::vector<bool> seen(graph.size(), false);
+    std::deque<std::size_t> queue = {root};
+    seen[root] = true;
+    std::set<std::string> reported;
+    while (!queue.empty()) {
+      const std::size_t id = queue.front();
+      queue.pop_front();
+      const Graph::Node& node = graph.node(id);
+      for (const Op& op : node.fn->ops) {
+        if (kinds.count(op.kind) == 0) continue;
+        if (Suppresses(op.suppress, rule)) continue;
+        const std::string site =
+            node.file->path + ":" + std::to_string(op.line);
+        if (!reported.insert(site).second) continue;
+        std::string via;
+        if (id != root) {
+          std::vector<std::size_t> path;
+          for (std::size_t p = id; p != root; p = parent[p]) {
+            path.push_back(p);
+          }
+          via = " via";
+          int hops = 0;
+          for (auto it = path.rbegin(); it != path.rend(); ++it, ++hops) {
+            if (hops == 4) {
+              via += " -> ...";
+              break;
+            }
+            via += (hops == 0 ? " " : " -> ") + graph.node(*it).fn->name;
+          }
+        }
+        diags->push_back(Diagnostic{
+            entry.file->path, entry.fn->line, rule,
+            "'" + entry.fn->name + "' is MCM_CONTRACT(" + contract +
+                ") but reaches " + OpVerb(op.kind) + " " + op.detail + " (" +
+                site + ")" + via +
+                "; fix the source or sanitize the edge with NOLINT(" + rule +
+                ")"});
+      }
+      for (const Graph::Edge& edge : graph.out(id)) {
+        if (Suppresses(*edge.suppress, rule)) continue;
+        if (seen[edge.target]) continue;
+        seen[edge.target] = true;
+        parent[edge.target] = id;
+        queue.push_back(edge.target);
+      }
+    }
+  }
+}
+
+// mcm-guard-check: a function touching a guarded variable is safe when it
+// acquires the mutex itself, or when every (transitive) caller does.  A
+// cycle or a caller-less function without the lock is unsafe -- the
+// conservative answer for a contract checker.
+class GuardChecker {
+ public:
+  explicit GuardChecker(const Graph& graph) : graph_(graph) {}
+
+  bool Safe(std::size_t id, const std::string& mutex) {
+    const auto key = std::make_pair(id, mutex);
+    const auto it = state_.find(key);
+    if (it != state_.end()) return it->second == kSafe;
+    if (graph_.node(id).fn->locks.count(mutex) > 0) {
+      state_[key] = kSafe;
+      return true;
+    }
+    if (graph_.in(id).empty()) {
+      state_[key] = kUnsafe;
+      return false;
+    }
+    state_[key] = kComputing;  // cycles resolve to unsafe
+    bool all = true;
+    for (const std::size_t caller : graph_.in(id)) {
+      if (!Safe(caller, mutex)) {
+        all = false;
+        break;
+      }
+    }
+    state_[key] = all ? kSafe : kUnsafe;
+    return all;
+  }
+
+ private:
+  enum State { kComputing = 0, kSafe = 1, kUnsafe = 2 };
+  const Graph& graph_;
+  std::map<std::pair<std::size_t, std::string>, int> state_;
+};
+
+bool IsHeader(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = path.substr(dot);
+  return ext == ".h" || ext == ".hpp" || ext == ".hh";
+}
+
+void CheckGuards(const Graph& graph,
+                 const std::map<std::string, FileIndex>& files,
+                 std::vector<Diagnostic>* diags) {
+  // An annotation in a header binds its name everywhere (class members are
+  // touched from other TUs); one in a .cc binds only refs in that same file
+  // (a function-local or TU-local variable is invisible elsewhere, so a
+  // same-named local in another file is a different variable).
+  std::map<std::string, std::string> global_guards;  // var name -> mutex
+  std::map<std::string, std::map<std::string, std::string>> local_guards;
+  bool any = false;
+  for (const auto& [path, fi] : files) {
+    for (const GuardedVar& var : fi.guarded) {
+      any = true;
+      if (IsHeader(path)) {
+        global_guards.emplace(var.name, var.mutex);
+      } else {
+        local_guards[path].emplace(var.name, var.mutex);
+      }
+    }
+  }
+  if (!any) return;
+
+  GuardChecker checker(graph);
+  for (std::size_t id = 0; id < graph.size(); ++id) {
+    const Graph::Node& node = graph.node(id);
+    if (Suppresses(node.fn->suppress, kGuardCheck)) continue;
+    const auto local_it = local_guards.find(node.file->path);
+    for (const auto& [name, line] : node.fn->refs) {
+      const std::string* mutex = nullptr;
+      if (local_it != local_guards.end()) {
+        const auto l = local_it->second.find(name);
+        if (l != local_it->second.end()) mutex = &l->second;
+      }
+      if (mutex == nullptr) {
+        const auto g = global_guards.find(name);
+        if (g != global_guards.end()) mutex = &g->second;
+      }
+      if (mutex == nullptr) continue;
+      if (checker.Safe(id, *mutex)) continue;
+      diags->push_back(Diagnostic{
+          node.file->path, line, kGuardCheck,
+          "'" + name + "' is annotated guarded-by(" + *mutex + ") but '" +
+              node.fn->name + "' touches it without acquiring " + *mutex +
+              " (neither here nor in every caller); lock the mutex or "
+              "NOLINT(mcm-guard-check) the access"});
+    }
+  }
+}
+
+}  // namespace
+
+void RunFlowRules(const std::map<std::string, FileIndex>& files,
+                  std::vector<Diagnostic>* diags) {
+  const Graph graph(files);
+  CheckReachability(graph, "deterministic", kNondetReach, {Op::kNondet},
+                    diags);
+  CheckReachability(graph, "signal-safe", kHandlerSafety,
+                    {Op::kAlloc, Op::kLock, Op::kBlocking}, diags);
+  CheckGuards(graph, files, diags);
+}
+
+}  // namespace mcmlint

@@ -51,7 +51,20 @@ void ParseMarkers(const std::string& text, LineMarkers& markers) {
       const std::size_t close = text.find(')', after + 11);
       if (close != std::string::npos && close > after + 11) {
         markers.guarded_by = true;
+        markers.guard_names.insert(
+            text.substr(after + 11, close - after - 11));
       }
+    }
+  }
+  // MCM_CONTRACT(deterministic) / MCM_CONTRACT(signal-safe): the flow rules'
+  // entry-point annotation (attached to the function defined on or just
+  // below the marker line; see index.cc).
+  for (std::size_t pos = text.find("MCM_CONTRACT("); pos != std::string::npos;
+       pos = text.find("MCM_CONTRACT(", pos + 13)) {
+    const std::size_t open = pos + 13;
+    const std::size_t close = text.find(')', open);
+    if (close != std::string::npos && close > open) {
+      markers.contracts.insert(text.substr(open, close - open));
     }
   }
 }

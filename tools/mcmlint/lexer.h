@@ -34,6 +34,8 @@ struct LineMarkers {
   std::set<std::string> nolint_rules;  // "// NOLINT(mcm-a, mcm-b)"
   bool order_insensitive = false;      // "// mcmlint: order-insensitive"
   bool guarded_by = false;             // "// mcmlint: guarded-by(<mutex>)"
+  std::set<std::string> guard_names;   // the <mutex> names, for mcm-guard-check
+  std::set<std::string> contracts;     // "// MCM_CONTRACT(deterministic)" etc.
 };
 
 struct SourceFile {

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# mcmlint v2 harness test: index-cache invalidation and SARIF output.
+#
+#   1. Cold lint of a synthetic two-file tree parses both files.
+#   2. A second run with the same cache parses nothing (all hits) and
+#      reproduces the identical diagnostics -- flow rules must work from
+#      cached indexes alone.
+#   3. Editing one file re-parses only that file.
+#   4. A config change invalidates the whole cache.
+#   5. The SARIF output is structurally valid 2.1.0 (schema/rules/results).
+#
+# Usage: lint_harness_test.sh <path-to-mcmlint>
+set -u
+
+MCMLINT=${1:?usage: lint_harness_test.sh <mcmlint>}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+mkdir -p "$TMP/src"
+cat > "$TMP/src/a.cc" <<'EOF'
+namespace demo {
+int Helper(int x);
+// MCM_CONTRACT(deterministic)
+int Entry(int x) { return Helper(x) + 1; }
+}  // namespace demo
+EOF
+cat > "$TMP/src/b.cc" <<'EOF'
+#include <cstdlib>
+namespace demo {
+int Helper(int x) { return std::rand() + x; }
+}  // namespace demo
+EOF
+cat > "$TMP/lint.conf" <<'EOF'
+scan.dirs = src
+scan.extensions = .cc .h
+rule.mcm-env-registry.enabled = false
+EOF
+
+run_lint() {
+  "$MCMLINT" --root "$TMP" --config lint.conf --cache "$TMP/index.cache" \
+    --stats "$@" > "$TMP/out.txt" 2> "$TMP/err.txt"
+  echo $?
+}
+
+expect_stats() {  # expect_stats <label> <substring>
+  grep -q "$2" "$TMP/err.txt" || {
+    cat "$TMP/err.txt" >&2
+    fail "$1: expected '$2' in --stats output"
+  }
+}
+
+# 1. Cold run: both files parse; the cross-file taint (Entry -> Helper ->
+#    rand) plus the direct mcm-nondeterminism finding must fire.
+status=$(run_lint --sarif "$TMP/out.sarif")
+[ "$status" = 1 ] || fail "cold run: expected exit 1 (violations), got $status"
+expect_stats "cold run" "parsed=2 cache_hits=0"
+grep -q "mcm-nondet-reach" "$TMP/out.txt" || fail "cold run: no cross-file taint finding"
+grep -q "mcm-nondeterminism" "$TMP/out.txt" || fail "cold run: no direct rand() finding"
+cp "$TMP/out.txt" "$TMP/cold.txt"
+
+# 2. Warm run: nothing re-parses, identical diagnostics from the cache.
+status=$(run_lint)
+[ "$status" = 1 ] || fail "warm run: expected exit 1, got $status"
+expect_stats "warm run" "parsed=0 cache_hits=2"
+cmp -s "$TMP/cold.txt" "$TMP/out.txt" || {
+  diff "$TMP/cold.txt" "$TMP/out.txt" >&2
+  fail "warm run: diagnostics differ from cold run"
+}
+
+# 3. Edit b.cc (comment only -- findings unchanged): exactly one re-parse.
+echo "// touched" >> "$TMP/src/b.cc"
+status=$(run_lint)
+[ "$status" = 1 ] || fail "edit run: expected exit 1, got $status"
+expect_stats "edit run" "parsed=1 cache_hits=1"
+cmp -s "$TMP/cold.txt" "$TMP/out.txt" || fail "edit run: diagnostics changed"
+
+# 4. Config change: the whole cache is invalid.
+echo "rule.mcm-banned.enabled = false" >> "$TMP/lint.conf"
+status=$(run_lint)
+[ "$status" = 1 ] || fail "config run: expected exit 1, got $status"
+expect_stats "config change" "parsed=2 cache_hits=0"
+
+# 5. SARIF structure.
+python3 - "$TMP/out.sarif" <<'EOF' || fail "SARIF structure check"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["version"] == "2.1.0", doc.get("version")
+assert doc["$schema"].endswith("sarif-2.1.0.json"), doc["$schema"]
+run = doc["runs"][0]
+driver = run["tool"]["driver"]
+assert driver["name"] == "mcmlint"
+rule_ids = {r["id"] for r in driver["rules"]}
+assert "mcm-nondet-reach" in rule_ids, sorted(rule_ids)
+results = run["results"]
+assert results, "no results for a failing tree"
+for r in results:
+    assert r["ruleId"] in rule_ids, r["ruleId"]
+    assert r["level"] == "error"
+    assert r["message"]["text"]
+    loc = r["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"].startswith("src/")
+    assert loc["region"]["startLine"] >= 1
+EOF
+
+echo "PASS"

@@ -257,9 +257,8 @@ void CheckMutableStatic(const SourceFile& file,
   }
 }
 
-void CheckUnorderedIteration(const SourceFile& file,
-                             std::vector<Diagnostic>* diags) {
-  static constexpr const char* kRule = "mcm-unordered-iteration";
+std::vector<UnorderedIterHit> FindUnorderedIterations(const SourceFile& file) {
+  std::vector<UnorderedIterHit> hits;
   const std::vector<Token>& t = file.tokens;
 
   std::set<std::string> unordered_types = {
@@ -304,7 +303,7 @@ void CheckUnorderedIteration(const SourceFile& file,
       tracked.insert(t[j].text);
     }
   }
-  if (tracked.empty()) return;
+  if (tracked.empty()) return hits;
 
   // Pass 2: for-loop headers that iterate a tracked container.
   for (std::size_t i = 0; i < t.size(); ++i) {
@@ -342,13 +341,97 @@ void CheckUnorderedIteration(const SourceFile& file,
       }
     }
     if (!violates) continue;
-    if (file.OrderInsensitiveIn(first_line, last_line)) continue;
-    Emit(file, first_line, kRule,
+    UnorderedIterHit hit;
+    hit.first_line = first_line;
+    hit.last_line = last_line;
+    hit.header_end_tok = end;
+    hit.annotated = file.OrderInsensitiveIn(first_line, last_line);
+    hits.push_back(hit);
+  }
+  return hits;
+}
+
+void CheckUnorderedIteration(const SourceFile& file,
+                             std::vector<Diagnostic>* diags) {
+  static constexpr const char* kRule = "mcm-unordered-iteration";
+  for (const UnorderedIterHit& hit : FindUnorderedIterations(file)) {
+    if (hit.annotated) continue;
+    Emit(file, hit.first_line, kRule,
          "iteration over a std::unordered_ container follows hash order, "
          "which the determinism contract does not cover; iterate a sorted "
          "view, or annotate '// mcmlint: order-insensitive' if every "
          "iteration effect commutes",
          diags);
+  }
+}
+
+void CheckFloatUnordered(const SourceFile& file,
+                         std::vector<Diagnostic>* diags) {
+  static constexpr const char* kRule = "mcm-float-unordered";
+  const std::vector<Token>& t = file.tokens;
+
+  const std::vector<UnorderedIterHit> hits = FindUnorderedIterations(file);
+  if (hits.empty()) return;
+
+  // Identifiers declared float/double anywhere in the file (declaration
+  // tracking is file-local, like the alias tracking above).
+  std::set<std::string> floats;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t[i], "float") && !IsIdent(t[i], "double")) continue;
+    std::size_t j = i + 1;
+    while (j < t.size() &&
+           (IsPunct(t[j], "*") || IsPunct(t[j], "&") ||
+            IsIdent(t[j], "const"))) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokenKind::kIdentifier &&
+        !IsStatementKeyword(t[j].text)) {
+      floats.insert(t[j].text);
+    }
+  }
+  if (floats.empty()) return;
+
+  std::set<int> reported;
+  for (const UnorderedIterHit& hit : hits) {
+    // Body: a balanced brace block right after the header, else a single
+    // statement up to ';'.
+    std::size_t j = hit.header_end_tok;
+    std::size_t body_end = t.size();
+    if (j < t.size() && IsPunct(t[j], "{")) {
+      int depth = 1;
+      std::size_t k = j + 1;
+      while (k < t.size() && depth > 0) {
+        if (IsPunct(t[k], "{")) ++depth;
+        if (IsPunct(t[k], "}")) --depth;
+        ++k;
+      }
+      body_end = k;
+      ++j;
+    } else {
+      std::size_t k = j;
+      while (k < t.size() && !IsPunct(t[k], ";")) ++k;
+      body_end = k;
+    }
+    for (; j + 2 < body_end; ++j) {
+      if (t[j].kind != TokenKind::kIdentifier || floats.count(t[j].text) == 0) {
+        continue;
+      }
+      // x += ..., x -= ..., or x = x + ...
+      const bool compound = (IsPunct(t[j + 1], "+") || IsPunct(t[j + 1], "-")) &&
+                            IsPunct(t[j + 2], "=");
+      const bool rebind = j + 3 < body_end && IsPunct(t[j + 1], "=") &&
+                          t[j + 2].kind == TokenKind::kIdentifier &&
+                          t[j + 2].text == t[j].text &&
+                          (IsPunct(t[j + 3], "+") || IsPunct(t[j + 3], "-"));
+      if (!compound && !rebind) continue;
+      if (!reported.insert(t[j].line).second) continue;
+      Emit(file, t[j].line, kRule,
+           "floating-point accumulation into '" + t[j].text +
+               "' inside an unordered-container loop: FP addition is not "
+               "associative, so the result depends on hash order; accumulate "
+               "over a sorted view or use integer/fixed-point accumulation",
+           diags);
+    }
   }
 }
 

@@ -23,6 +23,15 @@
 //                          the README env-var table, and vice versa.
 //   mcm-banned             functions listed in banned.txt (strtok, gets,
 //                          sprintf, ...) may not be called.
+//   mcm-float-unordered    no floating-point accumulation (+=, -=, x = x + ...)
+//                          inside a loop over an unordered container: FP
+//                          addition is not associative, so even an
+//                          order-insensitive annotation does not make the
+//                          result hash-order independent.
+//
+// The flow-aware rules (mcm-nondet-reach, mcm-guard-check,
+// mcm-handler-safety) live in flow_rules.h; they run on the cross-TU index
+// from index.h rather than on a single token stream.
 //
 // Rules run over the token stream from lexer.h; they are heuristic by
 // design.  Known limits: mcm-mutable-static only sees declarations introduced
@@ -65,10 +74,25 @@ struct EnvDoc {
   std::string name;
 };
 
+// One for-loop that iterates an unordered container.  Shared between
+// mcm-unordered-iteration (which respects `annotated`), mcm-float-unordered
+// (which does not -- FP accumulation is unsafe even when iteration effects
+// commute), and the index's nondeterminism facts.
+struct UnorderedIterHit {
+  int first_line = 0;      // the `for` keyword's line
+  int last_line = 0;       // last line of the loop header
+  std::size_t header_end_tok = 0;  // token index just past the header's ')'
+  bool annotated = false;  // "// mcmlint: order-insensitive" in the header
+};
+
+std::vector<UnorderedIterHit> FindUnorderedIterations(const SourceFile& file);
+
 void CheckNondeterminism(const SourceFile& file,
                          std::vector<Diagnostic>* diags);
 void CheckUnorderedIteration(const SourceFile& file,
                              std::vector<Diagnostic>* diags);
+void CheckFloatUnordered(const SourceFile& file,
+                         std::vector<Diagnostic>* diags);
 void CheckRawThread(const SourceFile& file, std::vector<Diagnostic>* diags);
 void CheckMutableStatic(const SourceFile& file,
                         std::vector<Diagnostic>* diags);

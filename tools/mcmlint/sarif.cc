@@ -1,0 +1,163 @@
+#include "sarif.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace mcmlint {
+
+namespace {
+
+struct RuleDesc {
+  const char* id;
+  const char* summary;
+};
+
+// The full catalog; results reference rules by array index via ruleIndex.
+constexpr RuleDesc kRules[] = {
+    {"mcm-nondeterminism",
+     "Direct nondeterminism source (rand, random_device, raw clock reads, "
+     "argless time()) outside the telemetry allowlist."},
+    {"mcm-unordered-iteration",
+     "Iteration over std::unordered_ containers in reward/search-critical "
+     "code follows hash order, which the determinism contract does not "
+     "cover."},
+    {"mcm-raw-thread",
+     "std::thread/std::jthread/std::async bypass the runtime worker pool "
+     "and its ordered-commit discipline."},
+    {"mcm-mutable-static",
+     "Mutable static or g_* global without const/atomic/thread_local or a "
+     "guarded-by annotation."},
+    {"mcm-env-registry",
+     "Environment variable read without a README registry row, or "
+     "documented but never read."},
+    {"mcm-banned",
+     "Call to a function on the banned-function list "
+     "(tools/mcmlint/banned.txt)."},
+    {"mcm-nondet-reach",
+     "A MCM_CONTRACT(deterministic) entry point reaches a nondeterminism "
+     "source through the call graph."},
+    {"mcm-guard-check",
+     "A guarded-by annotated variable is touched by a function that does "
+     "not hold the named mutex (directly or via every caller)."},
+    {"mcm-handler-safety",
+     "A MCM_CONTRACT(signal-safe) function reaches allocation, locking, or "
+     "a blocking call through the call graph."},
+    {"mcm-float-unordered",
+     "Floating-point accumulation inside an unordered-container loop "
+     "depends on hash order (FP addition is not associative)."},
+};
+
+void AppendEscaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string Quoted(const std::string& text) {
+  std::string out = "\"";
+  AppendEscaped(out, text);
+  out += '"';
+  return out;
+}
+
+int RuleIndex(const std::string& rule) {
+  for (std::size_t i = 0; i < sizeof(kRules) / sizeof(kRules[0]); ++i) {
+    if (rule == kRules[i].id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool WriteSarif(const std::string& path,
+                const std::vector<Diagnostic>& diags) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"mcmlint\",\n"
+      "          \"version\": \"2.0.0\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/tools/mcmlint\",\n"
+      "          \"rules\": [\n";
+  const std::size_t n_rules = sizeof(kRules) / sizeof(kRules[0]);
+  for (std::size_t i = 0; i < n_rules; ++i) {
+    out += "            {\"id\": ";
+    out += Quoted(kRules[i].id);
+    out += ", \"shortDescription\": {\"text\": ";
+    out += Quoted(kRules[i].summary);
+    out += "}}";
+    out += i + 1 < n_rules ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += "        {\"ruleId\": ";
+    out += Quoted(d.rule);
+    const int rule_index = RuleIndex(d.rule);
+    if (rule_index >= 0) {
+      out += ", \"ruleIndex\": " + std::to_string(rule_index);
+    }
+    out += ", \"level\": \"error\", \"message\": {\"text\": ";
+    out += Quoted(d.message);
+    out +=
+        "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+        "{\"uri\": ";
+    out += Quoted(d.path);
+    out += ", \"uriBaseId\": \"SRCROOT\"}, \"region\": {\"startLine\": ";
+    out += std::to_string(d.line > 0 ? d.line : 1);
+    out += "}}}]}";
+    out += i + 1 < diags.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ],\n"
+      "      \"columnKind\": \"utf16CodeUnits\",\n"
+      "      \"originalUriBaseIds\": {\"SRCROOT\": {\"uri\": "
+      "\"file:///\"}}\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+
+  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+  if (!stream || !(stream << out)) {
+    std::fprintf(stderr, "mcmlint: cannot write SARIF to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mcmlint

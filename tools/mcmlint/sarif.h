@@ -1,0 +1,23 @@
+// SARIF 2.1.0 output for CI annotation.
+//
+// Emits the minimal schema-valid document GitHub code scanning consumes:
+// one run, a tool.driver with the full rule catalog (so every result's
+// ruleId resolves), and one result per diagnostic with a physicalLocation
+// (artifactLocation.uri is the root-relative path mcmlint already reports,
+// region.startLine the 1-based line).  Everything is hand-serialized --
+// the only JSON feature needed is string escaping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace mcmlint {
+
+// Writes `diags` as SARIF 2.1.0 to `path`.  Returns false (with a message
+// on stderr) when the file cannot be written.
+bool WriteSarif(const std::string& path,
+                const std::vector<Diagnostic>& diags);
+
+}  // namespace mcmlint

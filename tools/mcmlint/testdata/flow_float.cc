@@ -1,0 +1,42 @@
+// mcmlint fixture: mcm-float-unordered -- floating-point accumulation over
+// an unordered container is order-dependent even when the loop carries the
+// order-insensitive annotation (FP addition does not commute in rounding).
+#include <string>
+#include <unordered_map>
+
+namespace fixture_flow {
+
+double FloatSumUnordered(const std::unordered_map<std::string, double>& m) {
+  double total_cost = 0.0;
+  for (const auto& entry : m) {  // expect: mcm-unordered-iteration
+    total_cost += entry.second;  // expect: mcm-float-unordered
+  }
+  return total_cost;
+}
+
+double FloatSumAnnotated(const std::unordered_map<std::string, double>& m) {
+  double sum_weights = 0.0;
+  for (const auto& entry : m) {  // mcmlint: order-insensitive (it is not!)
+    sum_weights += entry.second;  // expect: mcm-float-unordered
+  }
+  return sum_weights;
+}
+
+long FloatCountUnordered(const std::unordered_map<std::string, double>& m) {
+  long n = 0;
+  for (const auto& entry : m) {  // mcmlint: order-insensitive (count commutes)
+    n += 1;
+    (void)entry;
+  }
+  return n;
+}
+
+double FloatSumSanitized(const std::unordered_map<std::string, double>& m) {
+  double acc = 0.0;
+  for (const auto& entry : m) {  // mcmlint: order-insensitive (tolerated drift)
+    acc += entry.second;  // NOLINT(mcm-float-unordered)
+  }
+  return acc;
+}
+
+}  // namespace fixture_flow

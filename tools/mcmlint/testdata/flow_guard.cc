@@ -1,0 +1,36 @@
+// mcmlint fixture: mcm-guard-check -- a guarded member may only be touched
+// by functions that acquire its mutex themselves or in every caller
+// (lock-then-delegate), and an unguarded touch is diagnosed.
+#include <deque>
+#include <mutex>
+
+namespace fixture_flow {
+
+class GuardedQueue {
+ public:
+  void SafePush(int v) {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_items_.push_back(v);
+  }
+
+  // Lock-then-delegate: the helper below never locks, but its only caller
+  // does, so both stay clean.
+  void LockedCaller() {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    DrainLocked();
+  }
+
+  void UnsafeTouch() {
+    queue_items_.clear();  // expect: mcm-guard-check
+  }
+
+ private:
+  void DrainLocked() {
+    while (!queue_items_.empty()) queue_items_.pop_front();
+  }
+
+  std::mutex queue_mu_;
+  std::deque<int> queue_items_;  // mcmlint: guarded-by(queue_mu_)
+};
+
+}  // namespace fixture_flow

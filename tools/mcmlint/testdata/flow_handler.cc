@@ -1,0 +1,39 @@
+// mcmlint fixture: mcm-handler-safety -- MCM_CONTRACT(signal-safe)
+// functions must not reach allocation, locking, or blocking calls (stdio
+// included) through any call chain.
+#include <cstdio>
+
+namespace fixture_flow {
+
+void HandlerLogStep() {
+  std::printf("stopping\n");
+}
+
+int HandlerAtomicStep(int signum) { return signum + 1; }
+
+// Blocking stdio one call away.
+// MCM_CONTRACT(signal-safe)
+void HandlerUnsafeOnSignal(int signum) {  // expect: mcm-handler-safety
+  HandlerLogStep();
+  (void)signum;
+}
+
+// Direct allocation inside the handler itself.
+// MCM_CONTRACT(signal-safe)
+void HandlerAllocOnSignal(int signum) {  // expect: mcm-handler-safety
+  int* scratch = new int(signum);
+  delete scratch;
+}
+
+// MCM_CONTRACT(signal-safe)
+void HandlerSafeOnSignal(int signum) {
+  HandlerAtomicStep(signum);
+}
+
+// MCM_CONTRACT(signal-safe)
+void HandlerSanitizedOnSignal(int signum) {
+  HandlerLogStep();  // NOLINT(mcm-handler-safety)
+  (void)signum;
+}
+
+}  // namespace fixture_flow

@@ -1,0 +1,33 @@
+// mcmlint fixture: mcm-nondet-reach -- taint from a nondeterminism source
+// into an MCM_CONTRACT(deterministic) entry point through call edges inside
+// one file.  Cross-file propagation is covered by flow_taint_a/b.cc.
+#include <cstdlib>
+
+namespace fixture_flow {
+
+int FlowLocalSeed() {
+  return std::rand();  // expect: mcm-nondeterminism
+}
+
+int FlowLocalStep(int x) { return x + FlowLocalSeed(); }
+
+// MCM_CONTRACT(deterministic)
+int FlowTaintedEntry(int x) {  // expect: mcm-nondet-reach
+  return FlowLocalStep(x);
+}
+
+int FlowPureStep(int x) { return x * 2; }
+
+// MCM_CONTRACT(deterministic)
+int FlowCleanEntry(int x) {
+  return FlowPureStep(x);
+}
+
+// A sanitized edge: the nondeterminism stays behind the NOLINT, so the
+// contract holds even though the callee is tainted.
+// MCM_CONTRACT(deterministic)
+int FlowSanitizedEntry(int x) {
+  return FlowLocalStep(x);  // NOLINT(mcm-nondet-reach)
+}
+
+}  // namespace fixture_flow

@@ -1,0 +1,13 @@
+// mcmlint fixture: cross-file taint for mcm-nondet-reach.  The contracted
+// entry point lives here; the clock read it reaches lives in
+// flow_taint_b.cc, so the diagnostic proves the cross-TU index works.
+namespace fixture_flow {
+
+int TaintHelperStep(int x);
+
+// MCM_CONTRACT(deterministic)
+int TaintCrossFileEntry(int x) {  // expect: mcm-nondet-reach
+  return TaintHelperStep(x);
+}
+
+}  // namespace fixture_flow

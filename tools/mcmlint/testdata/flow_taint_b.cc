@@ -1,0 +1,11 @@
+// mcmlint fixture: the tainted half of the flow_taint_a.cc pair.
+#include <chrono>
+
+namespace fixture_flow {
+
+int TaintHelperStep(int x) {
+  const auto now = std::chrono::steady_clock::now();  // expect: mcm-nondeterminism
+  return x + static_cast<int>(now.time_since_epoch().count() % 7);
+}
+
+}  // namespace fixture_flow
