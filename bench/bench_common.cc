@@ -124,6 +124,9 @@ void InitBenchRuntime(int argc, char** argv) {
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
       SetDefaultThreadCount(std::stoi(argv[i + 1]));
       ++i;
+    } else if (std::string(argv[i]) == "--nn-threads" && i + 1 < argc) {
+      SetNnThreadCount(std::stoi(argv[i + 1]));
+      ++i;
     } else if (std::string(argv[i]) == "--eval-cache" && i + 1 < argc) {
       SetDefaultEvalCacheCapacity(std::stoi(argv[i + 1]));
       ++i;
@@ -133,10 +136,12 @@ void InitBenchRuntime(int argc, char** argv) {
     }
   }
   std::printf("# runtime: %d worker threads (override with --threads N or "
-              "MCMPART_THREADS), eval cache %d entries (--eval-cache N or "
-              "MCMPART_EVAL_CACHE; 0 disables), delta eval %s (--delta-eval "
-              "0|1 or MCMPART_DELTA_EVAL)\n",
-              DefaultThreadCount(), DefaultEvalCacheCapacity(),
+              "MCMPART_THREADS), %d NN kernel threads (--nn-threads N or "
+              "MCMPART_NN_THREADS; 0 inherits --threads), eval cache %d "
+              "entries (--eval-cache N or MCMPART_EVAL_CACHE; 0 disables), "
+              "delta eval %s (--delta-eval 0|1 or MCMPART_DELTA_EVAL)\n",
+              DefaultThreadCount(), NnThreadCount(),
+              DefaultEvalCacheCapacity(),
               DefaultDeltaEvalEnabled() ? "on" : "off");
 }
 
@@ -145,6 +150,7 @@ telemetry::RunReport MakeBenchReport(std::string_view name) {
   report.SetString("scale",
                    GetBenchScale() == BenchScale::kFull ? "full" : "quick");
   report.SetValue("threads", DefaultThreadCount());
+  report.SetValue("nn_threads", NnThreadCount());
   return report;
 }
 

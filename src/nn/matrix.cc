@@ -214,12 +214,12 @@ void MatMulTransBPanel(const Matrix& a, const Matrix& b, Matrix& out,
   }
 }
 
-// Splits [0, rows) into fixed kPanelRows-row panels executed via
-// ParallelFor.  Panel boundaries depend only on `rows`.
+// Splits [0, rows) into fixed kPanelRows-row panels executed on the NN
+// kernel pool.  Panel boundaries depend only on `rows`.
 template <typename PanelFn>
 void ParallelOverRowPanels(int rows, const PanelFn& panel) {
   const int num_panels = (rows + kPanelRows - 1) / kPanelRows;
-  ParallelFor(0, num_panels, [&](std::int64_t p) {
+  NnParallelFor(0, num_panels, [&](std::int64_t p) {
     const int begin = static_cast<int>(p) * kPanelRows;
     const int end = std::min(rows, begin + kPanelRows);
     panel(begin, end);
@@ -228,6 +228,8 @@ void ParallelOverRowPanels(int rows, const PanelFn& panel) {
 
 }  // namespace
 
+// MCM_CONTRACT(deterministic): fixed shape-only row panels; each output
+// element is written by exactly one task in the serial summation order.
 void MatMul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   MCM_CHECK_EQ(a.cols, b.rows);
   const bool fresh = !accumulate || out.rows != a.rows || out.cols != b.cols;
@@ -245,6 +247,8 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   }
 }
 
+// MCM_CONTRACT(deterministic): fixed k-slabs with a serial slab-order
+// reduction of the partials.
 void MatMulTransA(const Matrix& a, const Matrix& b, Matrix& out,
                   bool accumulate) {
   MCM_CHECK_EQ(a.rows, b.rows);
@@ -262,7 +266,7 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix& out,
     const std::size_t tile = static_cast<std::size_t>(m) * n;
     std::vector<float> partials =
         ScratchArena::AcquireBuffer(tile * static_cast<std::size_t>(num_slabs));
-    ParallelFor(0, num_slabs, [&](std::int64_t s) {
+    NnParallelFor(0, num_slabs, [&](std::int64_t s) {
       const int k_begin = static_cast<int>(s) * kSlabRows;
       const int k_end = std::min(kk, k_begin + kSlabRows);
       MatMulTransAPanel(a, b, partials.data() + static_cast<std::size_t>(s) * tile,
@@ -286,6 +290,7 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix& out,
   }
 }
 
+// MCM_CONTRACT(deterministic): fixed shape-only row panels, as MatMul.
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix& out,
                   bool accumulate) {
   MCM_CHECK_EQ(a.cols, b.cols);

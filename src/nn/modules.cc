@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "runtime/thread_pool.h"
 
 namespace mcm {
 
@@ -122,6 +123,7 @@ NeighborLists BuildNeighborLists(const Graph& graph) {
       lists.indices[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = s;
     }
   }
+  lists.Finalize();
   return lists;
 }
 
@@ -135,6 +137,10 @@ Adam::Adam(ParamRefs params, Options options)
   }
 }
 
+// MCM_CONTRACT(deterministic): the global-norm reduction stays serial in
+// param order; the per-param update is elementwise (params never alias), so
+// the fan-out reorders no arithmetic and the step is bit-identical at any
+// --nn-threads value.
 void Adam::Step() {
   ++step_;
   double scale = 1.0;
@@ -150,10 +156,11 @@ void Adam::Step() {
   }
   const double bias1 = 1.0 - std::pow(options_.beta1, step_);
   const double bias2 = 1.0 - std::pow(options_.beta2, step_);
-  for (std::size_t k = 0; k < params_.size(); ++k) {
-    Param& p = *params_[k];
-    Matrix& m = m_[k];
-    Matrix& v = v_[k];
+  NnParallelFor(0, static_cast<std::int64_t>(params_.size()),
+                [&](std::int64_t k) {
+    Param& p = *params_[static_cast<std::size_t>(k)];
+    Matrix& m = m_[static_cast<std::size_t>(k)];
+    Matrix& v = v_[static_cast<std::size_t>(k)];
     for (std::size_t i = 0; i < p.value.data.size(); ++i) {
       const double g = scale * p.grad.data[i];
       m.data[i] = static_cast<float>(options_.beta1 * m.data[i] +
@@ -165,12 +172,15 @@ void Adam::Step() {
       p.value.data[i] -= static_cast<float>(
           options_.lr * m_hat / (std::sqrt(v_hat) + options_.epsilon));
     }
-  }
+  });
   ZeroGrad();
 }
 
 void Adam::ZeroGrad() {
-  for (Param* p : params_) p->grad.Zero();
+  NnParallelFor(0, static_cast<std::int64_t>(params_.size()),
+                [&](std::int64_t k) {
+    params_[static_cast<std::size_t>(k)]->grad.Zero();
+  });
 }
 
 Adam::State Adam::GetState() const {

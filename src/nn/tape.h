@@ -18,11 +18,44 @@
 namespace mcm {
 
 // Compressed sparse neighbor lists for the GraphSAGE aggregation step.
+//
+// Lifetime contract: NeighborMeanOp's backward closure captures the raw
+// `NeighborLists*` it was recorded with -- the lists must stay alive and
+// unmodified until the tape they were recorded on is destroyed (in practice
+// they live in GraphContext, which outlives every per-episode tape).
+// Consistency of offsets/indices is MCM_CHECKed at op-record time, not at
+// backward time.
 struct NeighborLists {
   // CSR layout: neighbors of row i are indices[offsets[i] .. offsets[i+1]).
   std::vector<int> offsets;
   std::vector<int> indices;
+
+  // Derived form built by Finalize(), consumed by NeighborMeanOp:
+  //   * inv_degree[i] = 1 / |N(i)| (0 for isolated rows), hoisting the
+  //     division out of both passes.
+  //   * Reverse CSR (the transpose adjacency): the forward rows that
+  //     aggregate node j are rev_rows[rev_offsets[j] .. rev_offsets[j+1]),
+  //     stored in (row, edge-position) order.  The backward pass gathers
+  //     along it, so the gradient scatter becomes a deterministic per-row
+  //     reduction that parallelizes without atomics -- and, because the
+  //     gather order equals the serial scatter order, produces bit-identical
+  //     sums.
+  std::vector<float> inv_degree;
+  std::vector<int> rev_offsets;
+  std::vector<int> rev_rows;
+
   int num_rows() const { return static_cast<int>(offsets.size()) - 1; }
+
+  // Validates offsets/indices (MCM_CHECK on malformed input) and builds the
+  // derived form above.  BuildNeighborLists returns finalized lists; call
+  // this after filling offsets/indices by hand.  Must not race with readers:
+  // finalize before sharing the lists across threads.
+  void Finalize();
+  bool finalized() const {
+    return rev_offsets.size() == offsets.size() &&
+           rev_rows.size() == indices.size() &&
+           inv_degree.size() == static_cast<std::size_t>(num_rows());
+  }
 };
 
 using VarId = int;
@@ -59,7 +92,10 @@ class Tape {
   // out = [a | b] column-wise (same row count).
   VarId ConcatCols(VarId a, VarId b);
   // out[i,:] = mean over j in neighbors(i) of a[j,:]; zero row when a node
-  // has no neighbors.  `lists` must outlive the tape.
+  // has no neighbors.  `lists` must be finalized (see NeighborLists), stay
+  // alive, and stay unmodified until this tape is destroyed: the backward
+  // closure holds the raw pointer.  Record-time MCM_CHECKs enforce shape and
+  // offsets/indices consistency.
   VarId NeighborMeanOp(VarId a, const NeighborLists* lists);
   // out = mean over rows of a -> [1 x cols].
   VarId MeanRowsOp(VarId a);

@@ -110,15 +110,24 @@ Matrix PolicyNetwork::CachedEmbedding(GraphContext& context) {
   static telemetry::Counter& misses =
       telemetry::Counter::Get("rl/embed_cache_misses");
   const std::uint64_t fingerprint = FeatureParamsFingerprint();
-  std::lock_guard<std::mutex> lock(embed_mu_);
-  if (embed_context_uid_ == context.uid() &&
-      embed_fingerprint_ == fingerprint && embed_value_.rows > 0) {
-    hits.Add();
-    return embed_value_;
+  {
+    std::lock_guard<std::mutex> lock(embed_mu_);
+    if (embed_context_uid_ == context.uid() &&
+        embed_fingerprint_ == fingerprint && embed_value_.rows > 0) {
+      hits.Add();
+      return embed_value_;
+    }
   }
+  // Miss: recompute OUTSIDE the lock so concurrent rollouts are never
+  // serialized behind one GraphSAGE forward.  Racing misses duplicate work,
+  // but the recompute is a pure function of (params, context) and the tape
+  // ops are bit-deterministic, so every racer computes identical bits and
+  // last-writer-wins installs the same value.
   misses.Add();
   Tape tape;
-  embed_value_ = tape.value(EmbedGraph(tape, context));
+  Matrix fresh = tape.value(EmbedGraph(tape, context));
+  std::lock_guard<std::mutex> lock(embed_mu_);
+  embed_value_ = std::move(fresh);
   embed_context_uid_ = context.uid();
   embed_fingerprint_ = fingerprint;
   return embed_value_;

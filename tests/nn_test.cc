@@ -319,6 +319,7 @@ TEST(TapeGradientTest, NeighborMean) {
   NeighborLists lists;
   lists.offsets = {0, 1, 3, 5, 6};
   lists.indices = {1, 0, 2, 1, 3, 2};
+  lists.Finalize();
   CheckGradients(4, 3, [&](Tape& tape, VarId x) {
     return Readout(tape, tape.NeighborMeanOp(x, &lists));
   });

@@ -26,6 +26,9 @@
 //     --threads N      worker threads (default: MCMPART_THREADS env,
 //                      else hardware concurrency); results are identical
 //                      for any N
+//     --nn-threads N   intra-op parallelism of the NN kernels (default:
+//                      MCMPART_NN_THREADS env, else inherit --threads);
+//                      results are identical for any N
 //     --eval-cache N   partition-evaluation memo-cache entries (default:
 //                      MCMPART_EVAL_CACHE env, else 1024; 0 disables);
 //                      results are identical with the cache on or off
@@ -46,7 +49,7 @@
 //     --checkpoint F / --checkpoint-shape S / --chips N
 //                      pre-trained policy served to zeroshot/finetune
 //                      requests (--chips must match the checkpoint)
-//     --threads N      runtime pool threads, as for partition
+//     --threads N / --nn-threads N    runtime pools, as for partition
 //     --delta-eval 0|1 as for partition
 //     --metrics-out FILE  write a RunReport after the graceful drain
 //                      (includes delta_eval/fast_fraction)
@@ -65,7 +68,8 @@
 //     --chips N        chiplets in the package           (default 8)
 //     --model M        analytical | hwsim (hwsim degrades to the
 //                      analytical model on permanent evaluation failure)
-//     --seed S / --threads N / --delta-eval 0|1    as for partition
+//     --seed S / --threads N / --nn-threads N / --delta-eval 0|1
+//                      as for partition
 //     --checkpoint-dir DIR  save resumable state into DIR
 //     --checkpoint-every K  save state every K iterations (default 1
 //                      when a checkpoint dir is set)
@@ -128,11 +132,13 @@ int Usage() {
                " [--model analytical|hwsim]"
                " [--objective throughput|latency] [--seed S] [--deadline-ms D]"
                " [--checkpoint F] [--checkpoint-shape quick|pretrain]"
-               " [--threads N] [--eval-cache N] [--delta-eval 0|1]"
+               " [--threads N] [--nn-threads N] [--eval-cache N]"
+               " [--delta-eval 0|1]"
                " [--out FILE]\n"
                "       mcmpart serve --socket PATH [--queue-depth N]"
                " [--cache N] [--executors N] [--max-batch N] [--checkpoint F]"
                " [--checkpoint-shape quick|pretrain] [--chips N] [--threads N]"
+               " [--nn-threads N]"
                " [--delta-eval 0|1] [--metrics-out FILE]\n"
                "       mcmpart request <in.graph> --socket PATH [--id ID]"
                " [--method M] [--model M] [--objective O] [--chips N]"
@@ -140,6 +146,7 @@ int Usage() {
                "       mcmpart pretrain [--graphs N] [--val-graphs N]"
                " [--samples N] [--checkpoints N] [--chips N]"
                " [--model analytical|hwsim] [--seed S] [--threads N]"
+               " [--nn-threads N]"
                " [--delta-eval 0|1]"
                " [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]"
                " [--stop-after N] [--validate] [--save-best F]"
@@ -263,6 +270,7 @@ int RunPartition(const Graph& graph, int argc, char** argv) {
     else if (arg == "--checkpoint") checkpoint_path = next();
     else if (arg == "--checkpoint-shape") checkpoint_shape = next();
     else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
+    else if (arg == "--nn-threads") SetNnThreadCount(std::stoi(next()));
     else if (arg == "--eval-cache") SetDefaultEvalCacheCapacity(std::stoi(next()));
     else if (arg == "--delta-eval") SetDefaultDeltaEvalEnabled(std::stoi(next()));
     else if (arg == "--out") out_path = next();
@@ -328,6 +336,7 @@ int RunServe(int argc, char** argv) {
     else if (arg == "--checkpoint") checkpoint_path = next();
     else if (arg == "--checkpoint-shape") checkpoint_shape = next();
     else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
+    else if (arg == "--nn-threads") SetNnThreadCount(std::stoi(next()));
     else if (arg == "--delta-eval") SetDefaultDeltaEvalEnabled(std::stoi(next()));
     else if (arg == "--metrics-out") config.report_path = next();
     else throw UsageError("unknown option: " + arg);
@@ -426,6 +435,7 @@ int RunPretrain(int argc, char** argv) {
     else if (arg == "--model") model_name = next();
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--threads") SetDefaultThreadCount(std::stoi(next()));
+    else if (arg == "--nn-threads") SetNnThreadCount(std::stoi(next()));
     else if (arg == "--delta-eval") SetDefaultDeltaEvalEnabled(std::stoi(next()));
     else if (arg == "--checkpoint-dir") checkpoint_dir = next();
     else if (arg == "--checkpoint-every") checkpoint_every = std::stoi(next());
